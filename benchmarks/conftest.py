@@ -1,0 +1,30 @@
+"""Benchmark-suite conventions.
+
+Each benchmark runs a full simulation experiment once per round
+(``benchmark.pedantic`` with bounded rounds — the simulations are
+deterministic, so repetition only measures the Python host, not the
+experiment), asserts the paper's qualitative shape on the result, and
+reports the measured rows through ``benchmark.extra_info`` so
+``--benchmark-json`` output carries the reproduced tables.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` under pytest-benchmark with one warm-up-free round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=3, iterations=1)
+
+
+@pytest.fixture
+def record_rows(benchmark):
+    """Attach an ExperimentResult's rows to the benchmark report."""
+
+    def _record(result):
+        benchmark.extra_info["experiment"] = result.exp_id
+        benchmark.extra_info["columns"] = list(result.columns)
+        benchmark.extra_info["rows"] = [list(r) for r in result.rows]
+        benchmark.extra_info["notes"] = list(result.notes)
+        return result
+
+    return _record

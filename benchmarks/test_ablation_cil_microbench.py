@@ -1,0 +1,29 @@
+"""Extension benchmark: CIL microbenchmark kernels across VM profiles."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.cli.microbench import run_kernel
+
+
+def test_ext_cil_suite(benchmark, record_rows):
+    from repro.bench.experiments.extensions import run_ext_cil
+
+    result = record_rows(run_once(benchmark, run_ext_cil, 200))
+    by_key = {(r[0], r[1]): r for r in result.rows}
+    # Warm-call ordering across profiles holds for every kernel.
+    for kernel in ("arith", "branch", "call", "alloc"):
+        assert (
+            by_key[("commercial", kernel)][3]
+            < by_key[("sscli", kernel)][3]
+            < by_key[("interpreter", kernel)][3]
+        ), kernel
+    # The interpreter profile never warms up via compilation.
+    for kernel in ("arith", "branch", "call", "alloc"):
+        assert by_key[("interpreter", kernel)][4] < 1.2
+
+
+def test_alloc_kernel_gc_pressure(benchmark):
+    result = run_once(benchmark, run_kernel, "alloc", 400)
+    assert result.correct
+    assert result.gc_collections >= 1

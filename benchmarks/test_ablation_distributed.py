@@ -1,0 +1,19 @@
+"""Extension benchmark: communication fabrics for distributed execution."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments.extensions import run_ext_dist
+
+
+def test_ext_dist_fabrics(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_ext_dist))
+    makespans = {row[0]: row[1] for row in result.rows}
+    # Point-to-point LAN fabrics beat the shared switch under
+    # concurrent communication bursts.
+    assert makespans["ring-lan"] < makespans["shared-switch"]
+    assert makespans["all-to-all-lan"] < makespans["shared-switch"]
+    # All-to-all splits each burst across peers → fastest here.
+    assert makespans["all-to-all-lan"] <= makespans["ring-lan"]
+    # A widely distributed (WAN) deployment pays dearly.
+    assert makespans["ring-wan"] > 2 * makespans["shared-switch"]

@@ -1,0 +1,14 @@
+"""Extension benchmark: cache eviction-policy ablation."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments.extensions import run_ext_eviction
+
+
+def test_ext_eviction(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_ext_eviction))
+    ratios = {row[0]: row[1] for row in result.rows}
+    assert set(ratios) == {"lru", "fifo", "clock"}
+    # Recency-aware policies protect the hot working set.
+    assert ratios["lru"] > ratios["fifo"]
+    assert ratios["clock"] > ratios["fifo"]
+    assert ratios["clock"] <= ratios["lru"] + 0.01

@@ -1,0 +1,31 @@
+"""Figures 2 & 3: QCRD execution-time decomposition benchmarks."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments.fig2_fig3_qcrd import run_fig2, run_fig3
+
+
+def test_fig2_qcrd_times(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_fig2))
+    rows = {r[0]: r for r in result.rows}
+    # Program 1 is CPU-dominated; Program 2 is I/O-dominated.
+    assert rows["Program1"][1] > rows["Program1"][2]
+    assert rows["Program2"][2] > rows["Program2"][1]
+    # Program 1 runs longer overall.
+    assert sum(rows["Program1"][1:3]) > sum(rows["Program2"][1:3])
+    # Application bars are the per-program sums.
+    assert abs(rows["Application"][1] - rows["Program1"][1] - rows["Program2"][1]) < 0.5
+    # The paper's <10% model-vs-simulation error bound holds.
+    assert all(r[3] < 10.0 for r in result.rows)
+
+
+def test_fig3_qcrd_percentages(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_fig3))
+    rows = {r[0]: r for r in result.rows}
+    # Percentages sum to 100 per component.
+    for name, row in rows.items():
+        assert abs(row[1] + row[2] - 100.0) < 0.5, name
+    # Program 2 far more I/O-intensive than Program 1.
+    assert rows["Program2"][2] > 85.0
+    assert rows["Program1"][2] < 30.0
+    # The application spends a noticeably large share on I/O.
+    assert 30.0 < rows["Application"][2] < 60.0

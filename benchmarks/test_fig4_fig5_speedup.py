@@ -1,0 +1,59 @@
+"""Figures 4 & 5: QCRD speedup scaling benchmarks."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments.fig4_fig5_speedup import run_fig4, run_fig5
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_fig4()
+
+
+@pytest.fixture(scope="module")
+def fig5_result():
+    return run_fig5()
+
+
+def _speedups(result):
+    return {row[0]: row[1] for row in result.rows}
+
+
+def test_fig4_disk_speedup(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_fig4, counts=(2, 8, 32)))
+    speedups = _speedups(result)
+    # "the speedup changes slightly with the increasing value of the
+    # disk number" — low, flat, monotone.
+    assert 1.0 <= speedups[2] <= 1.35
+    assert 1.0 <= speedups[32] <= 1.5
+    assert speedups[2] <= speedups[8] <= speedups[32]
+    assert speedups[32] - speedups[2] < 0.4
+
+
+def test_fig5_cpu_speedup(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_fig5, counts=(2, 8, 32)))
+    speedups = _speedups(result)
+    # Rises meaningfully, saturates around the paper's 2.1-2.4 plateau.
+    assert speedups[2] > 1.3
+    assert 1.9 <= speedups[32] <= 2.6
+    assert speedups[32] - speedups[8] < 0.3
+
+
+def test_cpu_speedup_beats_disk_speedup(benchmark, fig4_result, fig5_result):
+    """The paper's headline comparison between Figures 4 and 5.  The
+    benchmarked quantity is the analytic prediction (closed form; the
+    heavy simulations are timed by the two tests above)."""
+    from repro.model import build_qcrd, predict_speedup
+
+    benchmark.pedantic(
+        predict_speedup, args=(build_qcrd(), "cpus", (2, 8, 32)),
+        rounds=3, iterations=1,
+    )
+    disk = _speedups(fig4_result)
+    cpu = _speedups(fig5_result)
+    assert cpu[32] > disk[32] + 0.5
+    # And the simulation tracks the analytic prediction for both.
+    for result in (fig4_result, fig5_result):
+        for _n, measured, predicted in result.rows:
+            assert abs(measured - predicted) / predicted < 0.12

@@ -1,0 +1,32 @@
+"""Tables 1 & 2: steady-state trace replays (Dmine, Titan)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments.tables_traces import PAPER, run_tab1, run_tab2
+
+
+def _by_op(result):
+    return {row[0]: row for row in result.rows}
+
+
+def test_tab1_dmine(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_tab1))
+    rows = _by_op(result)
+    # The paper's ordering: seek < open < read < close.
+    assert rows["seek"][2] < rows["open"][2] < rows["read"][2] < rows["close"][2]
+    # Within 3x of every published value (warm path is software-bound,
+    # so absolute agreement is expected, not just shape).
+    paper = PAPER["dmine"]
+    for op in ("read", "open", "close", "seek"):
+        measured = rows[op][2]
+        assert measured < 3 * paper[op] and measured > paper[op] / 3, op
+
+
+def test_tab2_titan(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_tab2))
+    rows = _by_op(result)
+    assert rows["open"][2] < rows["close"][2]
+    assert rows["read"][2] < rows["close"][2] * 2  # all microsecond-scale
+    paper = PAPER["titan"]
+    for op in ("read", "open", "close"):
+        measured = rows[op][2]
+        assert measured < 3 * paper[op] and measured > paper[op] / 3, op

@@ -1,0 +1,35 @@
+"""Tables 3 & 4: cold trace replays with fault behaviour (LU, Cholesky)."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments.tables_traces import run_tab3, run_tab4
+from repro.traces.generator.lu import LU_SEEK_OFFSETS
+
+
+def test_tab3_lu_seeks(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_tab3))
+    # All six published seek targets reproduced, in order.
+    assert [r[1] for r in result.rows] == list(LU_SEEK_OFFSETS)
+    # Seeks are sub-microsecond bookkeeping (the paper's 1e-4 ms regime).
+    for row in result.rows:
+        assert row[2] < 0.001
+    # The prose comparison: close far more expensive than open
+    # (0.4566 vs 0.0006 ms in the paper) — encoded in the notes.
+    assert any("close" in n for n in result.notes)
+
+
+def test_tab4_cholesky_bimodal(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_tab4))
+    read_ms = result.column("read_ms")
+    fast = [t for t in read_ms if t < 0.05]
+    slow = [t for t in read_ms if t >= 0.05]
+    # Bimodality: both populations present, orders of magnitude apart.
+    assert len(fast) >= 4
+    assert len(slow) >= 4
+    assert min(slow) > 50 * max(fast)
+    # Every read is preceded by a flat, tiny seek.
+    for s in result.column("seek_ms"):
+        assert s < 0.001
+    # The published request sizes are reproduced verbatim.
+    from repro.traces.generator.cholesky import CHOLESKY_REQUEST_SIZES
+
+    assert result.column("data_size_bytes") == list(CHOLESKY_REQUEST_SIZES)

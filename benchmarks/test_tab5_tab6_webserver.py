@@ -1,0 +1,37 @@
+"""Tables 5 & 6 / Figure 6: web-server micro-benchmark."""
+
+from benchmarks.conftest import run_once
+from repro.bench.experiments.tab5_tab6_webserver import (
+    PAPER_TAB5,
+    PAPER_TAB6,
+    run_tab5,
+    run_tab6,
+)
+
+
+def test_tab5_first_request_read_write(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_tab5))
+    assert [r[1] for r in result.rows] == [s for s, _r, _w in PAPER_TAB5]
+    for row in result.rows:
+        _i, _size, read_ms, _pr, write_ms, _pw = row
+        # Cold first-touch operations are milliseconds, not microseconds.
+        assert read_ms > 1.0
+        assert write_ms > 1.0
+    # The durable write of the smallest file is slower than a warm read
+    # of the same data would be (paper: writes > reads) — compare the
+    # write against the smallest read as a conservative proxy.
+    reads = [r[2] for r in result.rows]
+    writes = [r[4] for r in result.rows]
+    assert min(writes) > 0.5 * min(reads)
+
+
+def test_tab6_fig6_repeat_reads(benchmark, record_rows):
+    result = record_rows(run_once(benchmark, run_tab6))
+    times = result.column("read_ms")
+    assert len(times) == len(PAPER_TAB6)
+    # Figure 6's shape: the first read is the slowest by a wide margin
+    # (JIT + cold buffers); subsequent reads serve from the I/O buffers.
+    assert times[0] == max(times)
+    assert times[0] > 10 * max(times[1:])
+    # Monotone non-increasing after warm-up (all warm reads equal-fast).
+    assert max(times[1:]) < 1.0

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""CIL playground: the simulated CLI VM by itself.
+
+Shows the virtual-execution-system pieces the benchmarks stand on:
+textual CIL assembly, verification, JIT warm-up, managed exceptions,
+static fields, and the microbenchmark kernels across VM profiles.
+
+Usage::
+
+    python examples/cil_playground.py
+"""
+
+from repro.cli import CliRuntime, ManagedException, MethodBuilder
+from repro.cli.disasm import disassemble, parse_cil
+from repro.cli.microbench import run_kernel
+from repro.cli.profiles import VM_PROFILES
+from repro.sim import Engine
+
+
+FIB_SOURCE = """
+.method fib(n) returns
+.locals a b t i
+    ldc 0
+    stloc a
+    ldc 1
+    stloc b
+    ldc 0
+    stloc i
+top:
+    ldloc i
+    ldarg n
+    clt
+    brfalse done
+    ldloc b
+    stloc t
+    ldloc a
+    ldloc b
+    add
+    stloc b
+    ldloc t
+    stloc a
+    ldloc i
+    ldc 1
+    add
+    stloc i
+    br top
+done:
+    ldloc a
+    ret
+"""
+
+
+def textual_assembly() -> None:
+    print("=" * 64)
+    print("1. Textual CIL: assemble, run, disassemble")
+    print("=" * 64)
+    method = parse_cil(FIB_SOURCE)
+    runtime = CliRuntime(Engine())
+    values = [
+        runtime.engine.run_process(runtime.invoke(method, [n])) for n in range(10)
+    ]
+    print(f"  fib(0..9) = {values}")
+    print(f"  verified max stack: {method.max_stack}")
+    print("  disassembly (first 8 lines):")
+    for line in disassemble(method).splitlines()[:8]:
+        print(f"    {line}")
+
+
+def jit_warmup() -> None:
+    print()
+    print("=" * 64)
+    print("2. JIT warm-up: first call pays compilation")
+    print("=" * 64)
+    method = parse_cil(FIB_SOURCE)
+    runtime = CliRuntime(Engine())
+    engine = runtime.engine
+
+    def scenario():
+        t0 = engine.now
+        yield from runtime.invoke(method, [30])
+        first = engine.now - t0
+        t1 = engine.now
+        yield from runtime.invoke(method, [30])
+        return first, engine.now - t1
+
+    first, warm = engine.run_process(scenario())
+    print(f"  first call: {first * 1e6:8.2f} us (includes JIT)")
+    print(f"  warm call : {warm * 1e6:8.2f} us")
+    print(f"  methods compiled: {runtime.jit.methods_compiled.value}")
+
+
+def managed_exceptions() -> None:
+    print()
+    print("=" * 64)
+    print("3. Managed exceptions: protected regions catch faults")
+    print("=" * 64)
+    safe_div = (
+        MethodBuilder("safe_div", returns=True)
+        .arg("a").arg("b")
+        .begin_try()
+        .ldarg("a").ldarg("b").div().ret()
+        .end_try("oops")
+        .label("oops").pop().ldc(-1).ret()
+        .build()
+    )
+    runtime = CliRuntime(Engine())
+    for a, b in ((10, 2), (10, 0)):
+        r = runtime.engine.run_process(runtime.invoke(safe_div, [a, b]))
+        print(f"  safe_div({a}, {b}) = {r}")
+    print(f"  exceptions caught in managed code: "
+          f"{runtime.interpreter.exceptions_caught.value}")
+
+    boom = MethodBuilder("boom").ldstr("unhandled!").throw().build()
+    try:
+        runtime.engine.run_process(runtime.invoke(boom))
+    except ManagedException as exc:
+        print(f"  uncaught exception reached the host: {exc.type_name}")
+
+
+def static_counters() -> None:
+    print()
+    print("=" * 64)
+    print("4. Static fields persist across invocations")
+    print("=" * 64)
+    bump = parse_cil(
+        ".method bump() returns\n"
+        " ldsfld Counters::hits\n ldc 1\n add\n dup\n stsfld Counters::hits\n ret"
+    )
+    runtime = CliRuntime(Engine())
+    values = [runtime.engine.run_process(runtime.invoke(bump)) for _ in range(3)]
+    print(f"  three calls returned {values}")
+
+
+def microbenchmarks() -> None:
+    print()
+    print("=" * 64)
+    print("5. Microbenchmark kernels across VM profiles (warm call, us)")
+    print("=" * 64)
+    kernels = ("arith", "branch", "call", "alloc")
+    print(f"  {'profile':12s}" + "".join(f"{k:>10s}" for k in kernels))
+    for profile in VM_PROFILES:
+        times = [
+            run_kernel(k, n=200, profile=profile).warm_call_time * 1e6
+            for k in kernels
+        ]
+        print(f"  {profile:12s}" + "".join(f"{t:10.1f}" for t in times))
+
+
+if __name__ == "__main__":
+    textual_assembly()
+    jit_warmup()
+    managed_exceptions()
+    static_counters()
+    microbenchmarks()

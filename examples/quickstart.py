@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: a ten-minute tour of the library.
+
+Runs one instance of each of the paper's three benchmarks on the
+simulated CLI and prints what the paper would have printed:
+
+1. the QCRD application from the behavioral model (§2);
+2. a trace-driven replay of the data-mining trace (§3);
+3. the multithreaded web server's warm-up curve (§4).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    ApplicationExecutor,
+    ReplayConfig,
+    TraceReplayer,
+    WebServerHost,
+    build_qcrd,
+    generate_trace,
+)
+from repro.traces import IOOp
+from repro.units import fmt_time
+
+
+def benchmark_1_behavioral_model() -> None:
+    print("=" * 64)
+    print("Benchmark 1: QCRD via the application behavioral model")
+    print("=" * 64)
+    app = build_qcrd()
+    for program in app.programs:
+        print(
+            f"  {program.name}: {program.phase_count} phases, "
+            f"T={fmt_time(program.execution_time)}, "
+            f"I/O {program.io_percentage:.1f}% / CPU {program.cpu_percentage:.1f}%"
+        )
+    result = ApplicationExecutor(app).run()
+    print(f"  simulated makespan on 1 CPU + 1 disk per node: {fmt_time(result.makespan)}")
+    for name, pr in result.programs.items():
+        print(
+            f"    {name}: cpu={fmt_time(pr.cpu_busy)} io={fmt_time(pr.io_busy)} "
+            f"({pr.io_percentage:.1f}% I/O)"
+        )
+
+
+def benchmark_2_trace_replay() -> None:
+    print()
+    print("=" * 64)
+    print("Benchmark 2: trace-driven replay (data mining trace)")
+    print("=" * 64)
+    header, records = generate_trace("dmine")
+    print(f"  trace: {len(records)} records against {header.sample_file}")
+    result = TraceReplayer(ReplayConfig(warmup=True)).replay(header, records, "dmine")
+    for stats in result.timings.all_stats():
+        print(f"    {stats}")
+    print(f"  JIT-compiled methods: {result.jit_methods}; "
+          f"CIL instructions executed: {result.instructions}")
+
+
+def benchmark_3_web_server() -> None:
+    print()
+    print("=" * 64)
+    print("Benchmark 3: multithreaded web server warm-up (Table 6)")
+    print("=" * 64)
+    host = WebServerHost()
+    host.run_request_sequence([("GET", "/images/photo3.jpg")] * 6)
+    for rec in host.metrics.gets():
+        print(
+            f"    trial {rec.index}: {rec.data_bytes} bytes read in "
+            f"{rec.read_ms:.4f} ms (response {rec.response_ms:.3f} ms)"
+        )
+    print(f"  threads spawned: {host.server.threads_spawned.value} "
+          "(one per connection, as in the paper)")
+
+
+if __name__ == "__main__":
+    benchmark_1_behavioral_model()
+    benchmark_2_trace_replay()
+    benchmark_3_web_server()

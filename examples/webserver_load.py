@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Web server under multi-client load.
+
+The paper notes "the number of threads increases with the increasing
+number of clients" but only measures a single client.  This example
+scales the client population and reports throughput, latency and
+thread counts — the study the paper's design enables.
+
+Usage::
+
+    python examples/webserver_load.py
+"""
+
+from repro import WebServerHost, WorkloadConfig, WorkloadGenerator
+
+
+def run_at_scale(num_clients: int):
+    host = WebServerHost()
+    config = WorkloadConfig(
+        num_clients=num_clients,
+        requests_per_client=12,
+        get_fraction=0.75,
+        mean_think_time=0.005,
+        seed=42,
+    )
+    return WorkloadGenerator(host, config).run()
+
+
+def main() -> None:
+    print(f"{'clients':>8s} {'requests':>9s} {'threads':>8s} "
+          f"{'mean ms':>9s} {'p95 ms':>9s} {'req/s':>9s} {'errors':>7s}")
+    for clients in (1, 2, 4, 8, 16):
+        result = run_at_scale(clients)
+        p95 = result.latencies.percentile(95) * 1e3
+        print(
+            f"{clients:>8d} {result.count:>9d} {result.threads_spawned:>8d} "
+            f"{result.mean_latency_ms:>9.3f} {p95:>9.3f} "
+            f"{result.throughput:>9.1f} {result.error_count:>7d}"
+        )
+    print("\nOne managed thread per connection, as §4.1 describes; "
+          "the buffer cache keeps repeat GETs fast even under load.")
+
+
+if __name__ == "__main__":
+    main()

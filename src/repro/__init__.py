@@ -1,0 +1,76 @@
+"""repro — reproduction of "Benchmarking the CLI for I/O-Intensive
+Computing" (Qin, Xie, Nathan, Tadepalli; IPDPS/PDSEC 2005).
+
+The package provides, bottom-up:
+
+* :mod:`repro.sim` — deterministic discrete-event simulation kernel;
+* :mod:`repro.storage` — mechanical disk models, schedulers, RAID-0;
+* :mod:`repro.io` — file system, buffer cache with prefetching,
+  managed file streams, simulated TCP;
+* :mod:`repro.cli` — a simulated Common Language Infrastructure VM
+  (CIL bytecode, verifier, JIT cost model, GC, managed threads);
+* :mod:`repro.model` — the paper's application behavioral model and
+  the QCRD instantiation (benchmark 1);
+* :mod:`repro.traces` — the trace format, five application trace
+  generators, and the trace-driven replayer (benchmark 2);
+* :mod:`repro.webserver` — the multithreaded web server
+  micro-benchmark (benchmark 3);
+* :mod:`repro.bench` — experiment harness regenerating every table
+  and figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro.bench import run_experiment, render_table
+    print(render_table(run_experiment("tab1")))
+"""
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+# Convenience re-exports of the most-used entry points.
+from repro.sim import Engine
+from repro.model import (
+    Application,
+    ApplicationExecutor,
+    MachineConfig,
+    Program,
+    WorkingSet,
+    build_qcrd,
+    cpu_speedup_study,
+    disk_speedup_study,
+)
+from repro.traces import (
+    IOOp,
+    ReplayConfig,
+    TraceReplayer,
+    generate_trace,
+    read_trace,
+    write_trace,
+)
+from repro.webserver import WebServerHost, WorkloadConfig, WorkloadGenerator
+from repro.bench import run_experiment, render_table
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "Engine",
+    "WorkingSet",
+    "Program",
+    "Application",
+    "build_qcrd",
+    "MachineConfig",
+    "ApplicationExecutor",
+    "disk_speedup_study",
+    "cpu_speedup_study",
+    "IOOp",
+    "generate_trace",
+    "read_trace",
+    "write_trace",
+    "ReplayConfig",
+    "TraceReplayer",
+    "WebServerHost",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "run_experiment",
+    "render_table",
+]

@@ -1,0 +1,33 @@
+"""Benchmark harness: regenerates every table and figure in the paper.
+
+Each experiment module exposes ``run(...) -> ExperimentResult``; the
+result carries the measured rows, the paper's published values for
+side-by-side comparison, and shape checks.  ``python -m repro.bench``
+runs everything and prints the report (the content of EXPERIMENTS.md).
+
+Experiment index (see DESIGN.md §4):
+
+========  ==================================================
+fig2      QCRD CPU/IO execution times (app + both programs)
+fig3      QCRD CPU/IO percentage breakdown
+fig4      speedup vs number of disks
+fig5      speedup vs number of CPUs
+tab1      Dmine trace replay per-op times
+tab2      Titan trace replay per-op times
+tab3      LU trace replay per-request seek times
+tab4      Cholesky trace replay per-request seek/read times
+tab5      web server first-request read/write response times
+tab6      repeated reads of one file (also Figure 6)
+========  ==================================================
+"""
+
+from repro.bench.report import ExperimentResult, render_report, render_table
+from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "render_report",
+    "render_table",
+    "ALL_EXPERIMENTS",
+    "run_experiment",
+]

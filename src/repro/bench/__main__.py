@@ -1,0 +1,58 @@
+"""Run experiments and print/save the report::
+
+    python -m repro.bench                       # everything, to stdout
+    python -m repro.bench fig4 tab1             # a subset
+    python -m repro.bench --output report.txt   # also save the text
+    python -m repro.bench --json results.json   # machine-readable dump
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.bench.report import render_table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench")
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXP",
+        help=f"experiment ids (default: all of {', '.join(sorted(ALL_EXPERIMENTS))})",
+    )
+    parser.add_argument("--output", help="also write the text report to this file")
+    parser.add_argument("--json", dest="json_path",
+                        help="write results as JSON to this file")
+    args = parser.parse_args(argv)
+
+    exp_ids = args.experiments or sorted(ALL_EXPERIMENTS)
+    blocks = []
+    dumps = []
+    for exp_id in exp_ids:
+        t0 = time.perf_counter()
+        result = run_experiment(exp_id)
+        elapsed = time.perf_counter() - t0
+        block = render_table(result) + f"\n  (ran in {elapsed:.2f}s wall)"
+        print(block)
+        print()
+        blocks.append(block)
+        entry = result.to_dict()
+        entry["wall_seconds"] = round(elapsed, 3)
+        dumps.append(entry)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write("\n\n".join(blocks) + "\n")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(dumps, fh, indent=2)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+"""Regression comparison of experiment-result dumps.
+
+A benchmark repository needs to answer "did this change move the
+numbers?".  ``compare_results`` diffs two JSON dumps produced by
+``python -m repro.bench --json`` and reports per-cell drift beyond a
+tolerance::
+
+    python -m repro.bench --json before.json
+    ... change something ...
+    python -m repro.bench --json after.json
+    python -m repro.bench.compare before.json after.json --tolerance 0.05
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro.bench.report import ExperimentResult
+from repro.errors import BenchmarkError
+
+__all__ = ["Drift", "compare_results", "load_dump", "main"]
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One numeric cell that moved beyond tolerance."""
+
+    exp_id: str
+    row_key: Any
+    column: str
+    before: float
+    after: float
+
+    @property
+    def relative(self) -> float:
+        base = max(abs(self.before), 1e-12)
+        return (self.after - self.before) / base
+
+    def render(self) -> str:
+        return (
+            f"{self.exp_id}[{self.row_key}].{self.column}: "
+            f"{self.before:g} -> {self.after:g} ({self.relative:+.1%})"
+        )
+
+
+def load_dump(path: str) -> Dict[str, ExperimentResult]:
+    """Load a ``--json`` dump into {exp_id: ExperimentResult}."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, list):
+        raise BenchmarkError(f"{path}: expected a list of experiment dumps")
+    out = {}
+    for entry in data:
+        result = ExperimentResult.from_dict(entry)
+        out[result.exp_id] = result
+    return out
+
+
+def compare_results(
+    before: Dict[str, ExperimentResult],
+    after: Dict[str, ExperimentResult],
+    tolerance: float = 0.05,
+) -> List[Drift]:
+    """Numeric cells differing by more than ``tolerance`` (relative).
+
+    Rows are keyed by their first column (request number, component
+    name, resource count...); experiments or rows present on only one
+    side are reported as structural drifts with NaN placeholders.
+    """
+    if tolerance < 0:
+        raise BenchmarkError(f"tolerance must be >= 0, got {tolerance}")
+    drifts: List[Drift] = []
+    for exp_id in sorted(set(before) | set(after)):
+        a = before.get(exp_id)
+        b = after.get(exp_id)
+        if a is None or b is None:
+            drifts.append(
+                Drift(exp_id, "*", "<presence>", float(a is not None), float(b is not None))
+            )
+            continue
+        a_rows = {row[0]: row for row in a.rows}
+        b_rows = {row[0]: row for row in b.rows}
+        for key in sorted(set(a_rows) | set(b_rows), key=str):
+            ra = a_rows.get(key)
+            rb = b_rows.get(key)
+            if ra is None or rb is None:
+                drifts.append(
+                    Drift(exp_id, key, "<row>", float(ra is not None), float(rb is not None))
+                )
+                continue
+            for idx, column in enumerate(a.columns):
+                if idx == 0 or idx >= len(rb):
+                    continue
+                va, vb = ra[idx], rb[idx]
+                if not (isinstance(va, (int, float)) and isinstance(vb, (int, float))):
+                    continue
+                if va is None or vb is None:
+                    continue
+                base = max(abs(va), 1e-12)
+                if abs(vb - va) / base > tolerance:
+                    drifts.append(Drift(exp_id, key, str(column), float(va), float(vb)))
+    return drifts
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI: exit 0 if no drift, 1 otherwise."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="python -m repro.bench.compare")
+    parser.add_argument("before")
+    parser.add_argument("after")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative drift threshold (default 0.05)")
+    args = parser.parse_args(argv)
+    drifts = compare_results(
+        load_dump(args.before), load_dump(args.after), tolerance=args.tolerance
+    )
+    if not drifts:
+        print(f"no drift beyond {args.tolerance:.0%}")
+        return 0
+    print(f"{len(drifts)} drift(s) beyond {args.tolerance:.0%}:")
+    for drift in drifts:
+        print(f"  {drift.render()}")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Experiment registry."""
+
+from repro.bench.experiments.fig2_fig3_qcrd import run_fig2, run_fig3
+from repro.bench.experiments.fig4_fig5_speedup import run_fig4, run_fig5
+from repro.bench.experiments.tables_traces import run_tab1, run_tab2, run_tab3, run_tab4
+from repro.bench.experiments.tab5_tab6_webserver import run_tab5, run_tab6
+from repro.bench.experiments.extensions import (
+    run_ext_cil,
+    run_ext_comm,
+    run_ext_dist,
+    run_ext_eviction,
+    run_ext_pgrep,
+    run_ext_prefetch,
+    run_ext_scheduler,
+    run_ext_vm,
+)
+
+from repro.errors import BenchmarkError
+
+#: experiment id → runner.  fig*/tab* regenerate the paper's evaluation;
+#: ext_* are the DESIGN.md §6 extensions.
+ALL_EXPERIMENTS = {
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "tab1": run_tab1,
+    "tab2": run_tab2,
+    "tab3": run_tab3,
+    "tab4": run_tab4,
+    "tab5": run_tab5,
+    "tab6": run_tab6,
+    "ext_prefetch": run_ext_prefetch,
+    "ext_scheduler": run_ext_scheduler,
+    "ext_vm": run_ext_vm,
+    "ext_comm": run_ext_comm,
+    "ext_cil": run_ext_cil,
+    "ext_dist": run_ext_dist,
+    "ext_eviction": run_ext_eviction,
+    "ext_pgrep": run_ext_pgrep,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "run_experiment"] + sorted(
+    f"run_{k}" for k in ALL_EXPERIMENTS
+)
+
+
+def run_experiment(exp_id: str, **kwargs):
+    """Run one experiment by id (``fig2`` ... ``tab6``)."""
+    try:
+        runner = ALL_EXPERIMENTS[exp_id]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown experiment {exp_id!r}; choices: {sorted(ALL_EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)

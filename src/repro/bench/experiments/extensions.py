@@ -1,0 +1,380 @@
+"""Extension experiments beyond the paper (DESIGN.md §6).
+
+* ``ext_prefetch``  — prefetch-policy ablation on the Dmine scan.
+* ``ext_scheduler`` — disk-arm scheduler ablation on a random backlog.
+* ``ext_vm``        — the Table 6 experiment across CLI implementations
+  (the paper's §5 future work).
+* ``ext_comm``      — a communication-intensive application in the
+  behavioral model (the paper's Figure 1 example), exercising γ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.report import ExperimentResult
+from repro.cli.profiles import VM_PROFILES
+from repro.model import (
+    Application,
+    ApplicationExecutor,
+    MachineConfig,
+    Program,
+    WorkingSet,
+)
+from repro.sim import Engine
+from repro.storage import Disk, DiskGeometry, IORequest, SCHEDULERS
+from repro.traces import IOOp, ReplayConfig, TraceReplayer, generate_dmine  # noqa: F401
+from repro.units import MiB, to_ms
+from repro.webserver import HostConfig, WebServerHost
+
+__all__ = [
+    "run_ext_prefetch",
+    "run_ext_scheduler",
+    "run_ext_vm",
+    "run_ext_comm",
+    "run_ext_cil",
+    "run_ext_dist",
+    "run_ext_eviction",
+    "run_ext_pgrep",
+]
+
+
+def run_ext_prefetch() -> ExperimentResult:
+    """Prefetch-policy ablation: cold Dmine scan with compute gaps."""
+    rows = []
+    for policy in ("none", "fixed", "adaptive"):
+        header, records = generate_dmine(
+            dataset_size=16 * MiB, passes=1, compute_gap=3e-3
+        )
+        cfg = ReplayConfig(
+            warmup=False, prefetch_policy=policy, prefetch_window=32,
+            file_size=64 * MiB,
+        )
+        result = TraceReplayer(cfg).replay(header, records, f"dmine-{policy}")
+        rows.append(
+            (
+                policy,
+                result.cache_misses,
+                round(result.timings.mean_ms(IOOp.READ), 4),
+                round(result.total_time, 4),
+            )
+        )
+    notes = [
+        "adaptive read-ahead overlaps I/O with the mining computation, "
+        "removing nearly all cold misses (the §3.4 prefetch mechanism)",
+    ]
+    return ExperimentResult(
+        exp_id="ext_prefetch",
+        title="Ablation: prefetch policy on the Dmine sequential scan",
+        columns=("policy", "cold_misses", "mean_read_ms", "total_time_s"),
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run_ext_scheduler(nrequests: int = 200, seed: int = 7) -> ExperimentResult:
+    """Disk-scheduler ablation: drain a deep random backlog."""
+    geo = DiskGeometry(cylinders=20_000, heads=4, sectors_per_track=200)
+    rng = np.random.default_rng(seed)
+    lbas = [int(x) for x in rng.integers(0, geo.total_blocks - 8, size=nrequests)]
+    rows = []
+    for name in sorted(SCHEDULERS):
+        engine = Engine()
+        disk = Disk(engine, geometry=geo, scheduler=name)
+        events = [disk.submit(IORequest(lba=lba, nblocks=8)) for lba in lbas]
+
+        def waiter():
+            yield engine.all_of(events)
+
+        engine.run_process(waiter())
+        rows.append(
+            (
+                name,
+                round(engine.now, 4),
+                round(to_ms(disk.service_times.mean), 3),
+                round(to_ms(disk.response_times.percentile(95)), 1),
+            )
+        )
+    notes = [
+        "position-aware policies (SSTF/SCAN/C-SCAN/C-LOOK) drain a deep "
+        "random backlog ~2.3x faster than FCFS — with the whole backlog "
+        "visible up front they all converge to near-sorted sweeps",
+    ]
+    return ExperimentResult(
+        exp_id="ext_scheduler",
+        title="Ablation: disk-arm scheduler draining a 200-request random backlog",
+        columns=("scheduler", "drain_time_s", "mean_service_ms", "p95_response_ms"),
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run_ext_vm(trials: int = 6) -> ExperimentResult:
+    """Table 6 across CLI implementations (paper §5 future work)."""
+    rows = []
+    for name, profile in VM_PROFILES.items():
+        host = WebServerHost(HostConfig(vm_profile=name))
+        host.run_request_sequence([("GET", "/images/photo3.jpg")] * trials)
+        responses = [r.response_ms for r in host.metrics.gets()]
+        rows.append(
+            (
+                name,
+                round(responses[0], 4),
+                round(sum(responses[1:]) / (trials - 1), 4),
+                round(responses[0] / (sum(responses[1:]) / (trials - 1)), 2),
+            )
+        )
+    notes = [
+        "the optimizing JIT pays the largest first-request penalty but has "
+        "the fastest steady state; the pure interpreter has no compile "
+        "delay yet still shows warm-up (cold I/O buffers)",
+    ]
+    return ExperimentResult(
+        exp_id="ext_vm",
+        title="Extension: repeated-read warm-up across CLI implementations",
+        columns=("vm_profile", "first_response_ms", "warm_response_ms", "warmup_ratio"),
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run_ext_pgrep() -> ExperimentResult:
+    """The fifth traced application: parallel text search (Pgrep).
+
+    The paper lists Pgrep among its five applications but prints no
+    table for it; with the concurrent replayer we can complete the
+    set — per-op times plus the sequential-vs-concurrent replay
+    comparison its multi-process trace enables.
+    """
+    from repro.traces import generate_pgrep
+    from repro.units import MiB
+
+    header, records = generate_pgrep(file_size=32 * MiB, num_processes=4)
+    rows = []
+    results = {}
+    setups = (
+        ("sequential-fcfs", False, "fcfs"),
+        ("concurrent-fcfs", True, "fcfs"),
+        ("concurrent-sstf", True, "sstf"),
+    )
+    for mode, concurrent, scheduler in setups:
+        cfg = ReplayConfig(
+            warmup=False, concurrent=concurrent, scheduler=scheduler,
+            file_size=64 * MiB,
+        )
+        result = TraceReplayer(cfg).replay(header, records, f"pgrep-{mode}")
+        results[mode] = result
+        rows.append(
+            (
+                mode,
+                result.streams,
+                round(result.timings.mean_ms(IOOp.READ), 4),
+                round(result.timings.mean_ms(IOOp.OPEN), 5),
+                round(result.timings.mean_ms(IOOp.CLOSE), 5),
+                round(result.total_time, 4),
+            )
+        )
+    inflation = (
+        results["concurrent-fcfs"].timings.mean_ms(IOOp.READ)
+        / results["sequential-fcfs"].timings.mean_ms(IOOp.READ)
+    )
+    sched_response_gain = (
+        results["concurrent-fcfs"].timings.mean_ms(IOOp.READ)
+        / results["concurrent-sstf"].timings.mean_ms(IOOp.READ)
+    )
+    notes = [
+        "close > open in every mode (the paper's universal observation "
+        "extends to its fifth application)",
+        "the disk is the bottleneck either way: concurrent replay matches "
+        f"sequential throughput while per-read response inflates {inflation:.1f}x "
+        "from queueing — the classic open- vs closed-loop distinction",
+        f"a position-aware arm scheduler trims {(sched_response_gain - 1) * 100:.0f}% "
+        "off the concurrent per-read response (throughput stays work-bound "
+        "with only four outstanding requests)",
+    ]
+    return ExperimentResult(
+        exp_id="ext_pgrep",
+        title="Extension: the Pgrep application (per-op times, replay modes)",
+        columns=("mode", "streams", "read_ms", "open_ms", "close_ms", "total_s"),
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run_ext_eviction(rounds: int = 40) -> ExperimentResult:
+    """Cache eviction-policy ablation: a hot/cold working set.
+
+    Four hot pages are touched every round with a cold stream of fresh
+    pages interleaved — the access mix where recency-aware policies
+    earn their keep.
+    """
+    from repro.io import CacheParams, FileSystem
+    from repro.io.eviction import EVICTION_POLICIES
+    from repro.io.prefetch import NoPrefetch
+
+    rows = []
+    for eviction in sorted(EVICTION_POLICIES):
+        engine = Engine()
+        disk = Disk(
+            engine,
+            geometry=DiskGeometry(cylinders=2000, heads=2, sectors_per_track=40),
+        )
+        fs = FileSystem(
+            engine,
+            disk,
+            cache_params=CacheParams(capacity_pages=8, eviction=eviction),
+            prefetch_policy=NoPrefetch(),
+        )
+        engine.run_process(fs.create("/hotcold", size_bytes=4096 * 4096))
+        ino = fs.stat("/hotcold")
+
+        def workload():
+            cold = 8
+            for _round in range(rounds):
+                for hot in range(4):
+                    yield from fs.cache.access(ino, hot, 1)
+                for _ in range(3):
+                    yield from fs.cache.access(ino, cold, 1)
+                    cold += 1
+
+        engine.run_process(workload())
+        stats = fs.cache.stats
+        rows.append(
+            (
+                eviction,
+                round(stats.hit_ratio, 4),
+                stats.misses,
+                stats.evictions,
+            )
+        )
+    notes = [
+        "LRU protects the hot set; CLOCK approximates it with reference "
+        "bits; FIFO evicts hot pages regardless of reuse",
+    ]
+    return ExperimentResult(
+        exp_id="ext_eviction",
+        title="Ablation: cache eviction policy on a hot/cold working set",
+        columns=("policy", "hit_ratio", "misses", "evictions"),
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run_ext_dist() -> ExperimentResult:
+    """Distributed environments (paper §5 future work): a
+    communication-intensive application on different interconnects."""
+    from repro.model import (
+        CLUSTER_LINK,
+        WAN_LINK,
+        distributed_machine,
+    )
+
+    app = Application(
+        "comm-app",
+        [
+            Program(f"p{i}", [WorkingSet(0.1, 0.7, 0.25, 4)], 2.0)
+            for i in range(4)
+        ],
+    )
+    setups = [
+        ("shared-switch", MachineConfig()),
+        ("ring-lan", distributed_machine(pattern="ring", link=CLUSTER_LINK)),
+        ("all-to-all-lan", distributed_machine(pattern="all", link=CLUSTER_LINK)),
+        ("master-lan", distributed_machine(pattern="master", link=CLUSTER_LINK)),
+        ("ring-wan", distributed_machine(pattern="ring", link=WAN_LINK)),
+    ]
+    rows = []
+    for name, machine in setups:
+        result = ApplicationExecutor(app, machine).run()
+        comm = sum(p.comm_busy for p in result.programs.values())
+        rows.append((name, round(result.makespan, 4), round(comm, 4)))
+    notes = [
+        "dedicated point-to-point links let concurrent bursts overlap "
+        "(faster than the shared switch); WAN latency dominates a widely "
+        "distributed deployment — the §5 future-work comparison",
+    ]
+    return ExperimentResult(
+        exp_id="ext_dist",
+        title="Extension: communication fabrics for distributed execution",
+        columns=("fabric", "makespan_s", "total_comm_busy_s"),
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run_ext_cil(n: int = 300) -> ExperimentResult:
+    """CIL microbenchmark kernels across VM profiles: the execution
+    engine characterized independently of I/O."""
+    from repro.cli.microbench import run_suite
+
+    results = run_suite(n=n)
+    rows = []
+    for r in results:
+        rows.append(
+            (
+                r.profile,
+                r.kernel,
+                round(to_ms(r.first_call_time), 4),
+                round(to_ms(r.warm_call_time), 4),
+                round(r.warmup_ratio, 2),
+                r.gc_collections,
+            )
+        )
+    assert all(r.correct for r in results)
+    notes = [
+        "every kernel's CIL result matches a pure-Python oracle",
+        "the optimizing-JIT profile pays the largest first-call cost and "
+        "has the fastest warm calls; the interpreter shows no JIT warm-up",
+        "the alloc kernel triggers gen-0 collections (pause model exercised)",
+    ]
+    return ExperimentResult(
+        exp_id="ext_cil",
+        title=f"Extension: CIL microbenchmarks (n={n}) across VM profiles",
+        columns=(
+            "vm_profile",
+            "kernel",
+            "first_call_ms",
+            "warm_call_ms",
+            "warmup_ratio",
+            "gc_collections",
+        ),
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run_ext_comm() -> ExperimentResult:
+    """Communication-intensive application: the paper's Figure 1
+    example program Γ = [(0.52,0.29,0.287,1), (0,0.85,0.185,2),
+    (0,0.57,0.194,1), (0.81,0,0.148,1)] executed on the machine."""
+    program = Program(
+        "fig1-example",
+        [
+            WorkingSet(0.52, 0.29, 0.287, 1),
+            WorkingSet(0.00, 0.85, 0.185, 2),
+            WorkingSet(0.00, 0.57, 0.194, 1),
+            WorkingSet(0.81, 0.00, 0.148, 1),
+        ],
+        total_time=60.0,
+    )
+    app = Application("fig1-app", [program])
+    result = ApplicationExecutor(app, MachineConfig()).run()
+    pr = result.programs["fig1-example"]
+    rows = [
+        ("model", round(program.cpu_requirement, 2),
+         round(program.disk_requirement, 2), round(program.comm_requirement, 2)),
+        ("measured", round(pr.cpu_busy, 2), round(pr.io_busy, 2),
+         round(pr.comm_busy, 2)),
+    ]
+    notes = [
+        "the communication fraction γ (the paper's extension over Rosti "
+        "et al.) is exercised over a shared interconnect channel; "
+        "measured burst times track the model's Eqs. 3-5 requirements",
+    ]
+    return ExperimentResult(
+        exp_id="ext_comm",
+        title="Extension: communication-intensive program (paper Figure 1 example)",
+        columns=("source", "cpu_s", "io_s", "comm_s"),
+        rows=rows,
+        notes=notes,
+    )

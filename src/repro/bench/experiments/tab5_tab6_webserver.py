@@ -1,0 +1,105 @@
+"""Tables 5 and 6 (and Figure 6): the web-server micro-benchmark.
+
+Table 5: one GET and one POST per image file, on a cold VM — per-file
+read/write times.  Table 6 / Figure 6: six consecutive GETs of the
+~14 KB file — the first is slowest (JIT + cold buffers), subsequent
+reads come from the I/O buffers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench.report import ExperimentResult
+from repro.webserver import HostConfig, WebServerHost
+
+__all__ = ["run_tab5", "run_tab6", "PAPER_TAB5", "PAPER_TAB6"]
+
+#: Table 5: (data size, read ms, write ms) in the paper's request order.
+PAPER_TAB5 = [
+    (7501, 2.1175, 2.8538),
+    (50607, 2.2319, 2.7442),
+    (14063, 1.6764, 2.4026),
+]
+
+#: Table 6: read ms per trial for the ~14 KB file.
+PAPER_TAB6 = [9.0181, 6.7331, 6.5070, 7.4598, 5.9489, 3.2441]
+
+_FILES_BY_SIZE = {
+    7501: "/images/photo2.jpg",
+    50607: "/images/photo1.jpg",
+    14063: "/images/photo3.jpg",
+}
+
+
+def run_tab5(config: Optional[HostConfig] = None) -> ExperimentResult:
+    """Table 5: response time of read and write operations."""
+    host = WebServerHost(config)
+    requests = []
+    for size, _r, _w in PAPER_TAB5:
+        requests.append(("GET", _FILES_BY_SIZE[size]))
+        requests.append(("POST", "/upload", size))
+    host.run_request_sequence(requests)
+    gets = host.metrics.gets()
+    posts = host.metrics.posts()
+    rows = []
+    for i, (size, paper_read, paper_write) in enumerate(PAPER_TAB5):
+        rows.append(
+            (
+                i + 1,
+                size,
+                round(gets[i].read_ms, 4),
+                paper_read,
+                round(posts[i].write_ms, 4),
+                paper_write,
+            )
+        )
+    notes = [
+        "shape: the server's first I/O operation is the slowest for its size; "
+        "durable writes are slower than warm reads (paper: writes > reads)",
+        "absolute GET times exceed the paper's — our cold misses hit a modeled "
+        "mechanical disk, the paper's hit Windows' partially-warm page cache",
+    ]
+    return ExperimentResult(
+        exp_id="tab5",
+        title="Web server: response time of read and write operations (ms)",
+        columns=(
+            "request",
+            "data_size_bytes",
+            "read_ms",
+            "paper_read_ms",
+            "write_ms",
+            "paper_write_ms",
+        ),
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run_tab6(
+    trials: int = 6, config: Optional[HostConfig] = None
+) -> ExperimentResult:
+    """Table 6 / Figure 6: repeated reads of the same ~14 KB file."""
+    host = WebServerHost(config)
+    path = _FILES_BY_SIZE[14063]
+    host.run_request_sequence([("GET", path)] * trials)
+    gets = host.metrics.gets()
+    rows = []
+    for i, rec in enumerate(gets, start=1):
+        paper = PAPER_TAB6[i - 1] if i <= len(PAPER_TAB6) else None
+        rows.append((i, rec.data_bytes, round(rec.read_ms, 4), paper))
+    first, rest = rows[0][2], [r[2] for r in rows[1:]]
+    notes = [
+        f"shape: first read {first} ms vs subsequent max {max(rest)} ms — "
+        "JIT compilation plus cold I/O buffers make trial 1 the slowest "
+        "(paper: 9.02 ms decaying to 3.24 ms)",
+        "deviation: our buffer cache makes re-reads microsecond-scale, a "
+        "sharper drop than the paper's network/OS-noise-dominated trials",
+    ]
+    return ExperimentResult(
+        exp_id="tab6",
+        title="Web server: repeated reads of the same file (Table 6 / Figure 6)",
+        columns=("trial", "data_size_bytes", "read_ms", "paper_read_ms"),
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,116 @@
+"""Experiment result container and plain-text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+from repro.errors import BenchmarkError
+
+__all__ = ["ExperimentResult", "render_table", "render_report", "render_series"]
+
+
+@dataclass
+class ExperimentResult:
+    """Measured output of one experiment.
+
+    ``rows`` are tuples matching ``columns``; ``notes`` records shape
+    findings and paper-comparison commentary.
+    """
+
+    exp_id: str
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]]
+    notes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise BenchmarkError(
+                    f"{self.exp_id}: row {row!r} does not match columns "
+                    f"{list(self.columns)!r}"
+                )
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, by name."""
+        try:
+            idx = list(self.columns).index(name)
+        except ValueError:
+            raise BenchmarkError(f"{self.exp_id}: no column {name!r}") from None
+        return [row[idx] for row in self.rows]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            exp_id=data["exp_id"],
+            title=data["title"],
+            columns=tuple(data["columns"]),
+            rows=[tuple(row) for row in data["rows"]],
+            notes=list(data.get("notes", [])),
+        )
+
+    def render(self) -> str:
+        return render_table(self)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Monospace table with a title banner and notes."""
+    header = [str(c) for c in result.columns]
+    body = [[_fmt(v) for v in row] for row in result.rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        f"== {result.exp_id}: {result.title} ==",
+        " | ".join(h.ljust(w) for h, w in zip(header, widths)),
+        sep,
+    ]
+    for row in body:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    for note in result.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Sequence[float], ys: Sequence[float], width: int = 40, label: str = ""
+) -> str:
+    """Tiny ASCII bar plot (used for the figure experiments)."""
+    if len(xs) != len(ys) or not xs:
+        raise BenchmarkError("series needs equal-length non-empty xs/ys")
+    peak = max(ys)
+    scale = (width / peak) if peak > 0 else 0.0
+    lines = [f"-- {label} --"] if label else []
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(y * scale)) if y > 0 else ""
+        lines.append(f"{_fmt(x):>8s} | {bar} {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def render_report(results: Sequence[ExperimentResult]) -> str:
+    """Concatenated report for all experiments."""
+    return "\n\n".join(render_table(r) for r in results)

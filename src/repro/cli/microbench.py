@@ -1,0 +1,203 @@
+"""CIL microbenchmark kernels.
+
+A small kernel suite characterizing the simulated execution engine
+itself — the kind of harness a CLI implementation ships alongside its
+I/O benchmarks.  Each kernel is a verified CIL method whose result is
+independently computable in Python, so correctness is asserted, not
+assumed.
+
+Kernels:
+
+* ``arith``  — tight integer arithmetic loop;
+* ``branch`` — data-dependent branching (count multiples of 3 xor 5);
+* ``call``   — method-call-dominated loop (one callee call/iteration);
+* ``alloc``  — allocation churn (one array per iteration; exercises
+  the GC's gen-0 threshold and pause accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cli.assembly import AssemblyBuilder, MethodBuilder
+from repro.cli.metadata import MethodDef
+from repro.cli.profiles import VM_PROFILES, VmProfile, get_profile
+from repro.cli.runtime import CliRuntime
+from repro.errors import CliError
+from repro.sim import Engine
+
+__all__ = ["KernelResult", "KERNELS", "build_kernel", "run_kernel", "run_suite"]
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Outcome of one kernel run."""
+
+    kernel: str
+    profile: str
+    n: int
+    result: int
+    expected: int
+    first_call_time: float
+    warm_call_time: float
+    instructions: int
+    gc_collections: int
+
+    @property
+    def correct(self) -> bool:
+        return self.result == self.expected
+
+    @property
+    def warmup_ratio(self) -> float:
+        return self.first_call_time / self.warm_call_time if self.warm_call_time else 0.0
+
+
+# -- kernel builders ----------------------------------------------------------
+
+def _arith() -> Tuple[MethodDef, Callable[[int], int]]:
+    """sum of (i*i + 3i) for i in [0, n)."""
+    m = (
+        MethodBuilder("arith", returns=True)
+        .arg("n").local("i").local("acc")
+        .ldc(0).stloc("acc").ldc(0).stloc("i")
+        .label("top")
+        .ldloc("i").ldarg("n").clt().brfalse("done")
+        .ldloc("acc")
+        .ldloc("i").ldloc("i").mul()
+        .ldloc("i").ldc(3).mul()
+        .add().add().stloc("acc")
+        .ldloc("i").ldc(1).add().stloc("i")
+        .br("top")
+        .label("done").ldloc("acc").ret()
+        .build()
+    )
+    return m, lambda n: sum(i * i + 3 * i for i in range(n))
+
+
+def _branch() -> Tuple[MethodDef, Callable[[int], int]]:
+    """count i in [0,n) divisible by exactly one of 3 and 5."""
+    m = (
+        MethodBuilder("branch", returns=True)
+        .arg("n").local("i").local("acc").local("t")
+        .ldc(0).stloc("acc").ldc(0).stloc("i")
+        .label("top")
+        .ldloc("i").ldarg("n").clt().brfalse("done")
+        .ldloc("i").ldc(3).rem().ldc(0).ceq().stloc("t")
+        .ldloc("i").ldc(5).rem().ldc(0).ceq()
+        .ldloc("t").xor().brfalse("skip")
+        .ldloc("acc").ldc(1).add().stloc("acc")
+        .label("skip")
+        .ldloc("i").ldc(1).add().stloc("i")
+        .br("top")
+        .label("done").ldloc("acc").ret()
+        .build()
+    )
+    return m, lambda n: sum(
+        1 for i in range(n) if (i % 3 == 0) != (i % 5 == 0)
+    )
+
+
+def _call() -> Tuple[MethodDef, Callable[[int], int]]:
+    """sum of helper(i) = 2i + 1 over [0, n), via a real method call."""
+    helper = (
+        MethodBuilder("twice_plus_one", returns=True)
+        .arg("x").ldarg("x").ldc(2).mul().ldc(1).add().ret()
+        .build()
+    )
+    m = (
+        MethodBuilder("call_loop", returns=True)
+        .arg("n").local("i").local("acc")
+        .ldc(0).stloc("acc").ldc(0).stloc("i")
+        .label("top")
+        .ldloc("i").ldarg("n").clt().brfalse("done")
+        .ldloc("acc").ldloc("i").call(helper).add().stloc("acc")
+        .ldloc("i").ldc(1).add().stloc("i")
+        .br("top")
+        .label("done").ldloc("acc").ret()
+        .build()
+    )
+    return m, lambda n: sum(2 * i + 1 for i in range(n))
+
+
+def _alloc() -> Tuple[MethodDef, Callable[[int], int]]:
+    """allocate an i-element array per iteration; sum the lengths."""
+    m = (
+        MethodBuilder("alloc_churn", returns=True)
+        .arg("n").local("i").local("acc")
+        .ldc(0).stloc("acc").ldc(0).stloc("i")
+        .label("top")
+        .ldloc("i").ldarg("n").clt().brfalse("done")
+        .ldloc("i").newarr().ldlen()
+        .ldloc("acc").add().stloc("acc")
+        .ldloc("i").ldc(1).add().stloc("i")
+        .br("top")
+        .label("done").ldloc("acc").ret()
+        .build()
+    )
+    return m, lambda n: sum(range(n))
+
+
+KERNELS: Dict[str, Callable[[], Tuple[MethodDef, Callable[[int], int]]]] = {
+    "arith": _arith,
+    "branch": _branch,
+    "call": _call,
+    "alloc": _alloc,
+}
+
+
+def build_kernel(name: str) -> Tuple[MethodDef, Callable[[int], int]]:
+    """Fresh (method, expected-fn) pair for kernel ``name``."""
+    try:
+        factory = KERNELS[name]
+    except KeyError:
+        raise CliError(f"unknown kernel {name!r}; choices: {sorted(KERNELS)}") from None
+    return factory()
+
+
+def run_kernel(
+    name: str, n: int = 500, profile: "str | VmProfile" = "sscli"
+) -> KernelResult:
+    """Run one kernel twice (cold then warm) on a fresh VM."""
+    if n < 1:
+        raise CliError(f"n must be >= 1, got {n}")
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    method, expected_fn = build_kernel(name)
+    engine = Engine()
+    runtime = CliRuntime(engine, jit_params=profile.jit, interp_params=profile.interp)
+
+    def scenario():
+        t0 = engine.now
+        first = yield from runtime.invoke(method, [n])
+        first_time = engine.now - t0
+        t1 = engine.now
+        second = yield from runtime.invoke(method, [n])
+        warm_time = engine.now - t1
+        assert first == second
+        return first, first_time, warm_time
+
+    result, first_time, warm_time = engine.run_process(scenario())
+    return KernelResult(
+        kernel=name,
+        profile=profile.name,
+        n=n,
+        result=result,
+        expected=expected_fn(n),
+        first_call_time=first_time,
+        warm_call_time=warm_time,
+        instructions=runtime.interpreter.instructions_executed.value,
+        gc_collections=runtime.heap.collections.value,
+    )
+
+
+def run_suite(
+    n: int = 500, profiles: Optional[List[str]] = None
+) -> List[KernelResult]:
+    """Run every kernel under every profile (default: all three)."""
+    names = profiles if profiles is not None else sorted(VM_PROFILES)
+    out = []
+    for profile in names:
+        for kernel in sorted(KERNELS):
+            out.append(run_kernel(kernel, n=n, profile=profile))
+    return out

@@ -1,0 +1,81 @@
+"""``QueryPerformanceCounter`` equivalent.
+
+The paper's timings come from ``QueryPerformanceCounter``; on the 2004
+Windows XP test machine that is the ACPI PM timer at 3 579 545 Hz.
+The simulated counter exposes the same tick-based interface over the
+engine's clock, plus a convenience :class:`Stopwatch`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CliError
+from repro.sim import Engine
+
+__all__ = ["PerformanceCounter", "Stopwatch"]
+
+#: The classic ACPI PM timer frequency (ticks per second).
+DEFAULT_FREQUENCY = 3_579_545
+
+
+class PerformanceCounter:
+    """Tick counter over simulated time."""
+
+    def __init__(self, engine: Engine, frequency: int = DEFAULT_FREQUENCY) -> None:
+        if frequency < 1:
+            raise CliError(f"frequency must be >= 1, got {frequency}")
+        self.engine = engine
+        self.frequency = frequency
+
+    def query(self) -> int:
+        """Current counter value in ticks (``QueryPerformanceCounter``)."""
+        return int(self.engine.now * self.frequency)
+
+    def ticks_to_seconds(self, ticks: int) -> float:
+        return ticks / self.frequency
+
+    def ticks_to_ms(self, ticks: int) -> float:
+        """Milliseconds, the unit every table in the paper reports."""
+        return ticks * 1e3 / self.frequency
+
+
+class Stopwatch:
+    """Start/stop latency measurement in simulated time."""
+
+    def __init__(self, counter: PerformanceCounter) -> None:
+        self.counter = counter
+        self._start_ticks: int | None = None
+        self._elapsed_ticks = 0
+
+    def start(self) -> None:
+        if self._start_ticks is not None:
+            raise CliError("stopwatch already running")
+        self._start_ticks = self.counter.query()
+
+    def stop(self) -> None:
+        if self._start_ticks is None:
+            raise CliError("stopwatch not running")
+        self._elapsed_ticks += self.counter.query() - self._start_ticks
+        self._start_ticks = None
+
+    def reset(self) -> None:
+        self._start_ticks = None
+        self._elapsed_ticks = 0
+
+    @property
+    def running(self) -> bool:
+        return self._start_ticks is not None
+
+    @property
+    def elapsed_ticks(self) -> int:
+        ticks = self._elapsed_ticks
+        if self._start_ticks is not None:
+            ticks += self.counter.query() - self._start_ticks
+        return ticks
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.counter.ticks_to_seconds(self.elapsed_ticks)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.counter.ticks_to_ms(self.elapsed_ticks)

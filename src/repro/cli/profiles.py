@@ -1,0 +1,69 @@
+"""Named virtual-machine cost profiles.
+
+The paper's §5 future work proposes "compar[ing] the performance of
+the benchmarks on different CLI-based virtual machines".  The
+simulation makes that possible today: a profile bundles JIT and
+interpreter cost parameters describing one implementation style.
+
+* ``sscli`` — the Shared Source CLI the paper measures: a fast,
+  non-optimizing JIT and slow generated code (modeled as slow
+  dispatch).
+* ``commercial`` — an optimizing commercial CLR: compilation costs
+  several times more per method, but steady-state code runs an order
+  of magnitude faster.
+* ``interpreter`` — a pure interpreter (e.g. an early Mono ``mint``):
+  no compile-on-first-call delay at all, slowest steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cli.interpreter import InterpreterParams
+from repro.cli.jit import JitParams
+from repro.errors import CliError
+
+__all__ = ["VmProfile", "VM_PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class VmProfile:
+    """One CLI implementation's cost parameters."""
+
+    name: str
+    description: str
+    jit: JitParams
+    interp: InterpreterParams
+
+
+VM_PROFILES: Dict[str, VmProfile] = {
+    "sscli": VmProfile(
+        name="sscli",
+        description="Shared Source CLI (Rotor): quick non-optimizing JIT, slow code",
+        jit=JitParams(base_cost=150e-6, per_instruction_cost=1.5e-6),
+        interp=InterpreterParams(instruction_cost=60e-9),
+    ),
+    "commercial": VmProfile(
+        name="commercial",
+        description="Optimizing commercial CLR: expensive JIT, fast code",
+        jit=JitParams(base_cost=600e-6, per_instruction_cost=6e-6),
+        interp=InterpreterParams(instruction_cost=6e-9),
+    ),
+    "interpreter": VmProfile(
+        name="interpreter",
+        description="Pure interpreter: no JIT delay, slowest steady state",
+        jit=JitParams(base_cost=0.0, per_instruction_cost=0.0),
+        interp=InterpreterParams(instruction_cost=300e-9),
+    ),
+}
+
+
+def get_profile(name: str) -> VmProfile:
+    """Look up a profile by name."""
+    try:
+        return VM_PROFILES[name.lower()]
+    except KeyError:
+        raise CliError(
+            f"unknown VM profile {name!r}; choices: {sorted(VM_PROFILES)}"
+        ) from None

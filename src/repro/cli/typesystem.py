@@ -1,0 +1,136 @@
+"""Common type system (CTS).
+
+The CTS "provides types and operations found in many programming
+languages" (paper §1, item 1).  The simulation carries enough of it to
+type method signatures, verify stack discipline, and describe managed
+objects: primitives, classes, and single-dimensional arrays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import CliError, TypeMismatch
+
+__all__ = ["PrimitiveKind", "CliType", "TypeRegistry"]
+
+
+class PrimitiveKind(enum.Enum):
+    """Built-in value kinds (a pragmatic subset of ECMA-335 I.8)."""
+
+    VOID = "void"
+    BOOL = "bool"
+    CHAR = "char"
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"     # reference type, but built-in
+    OBJECT = "object"
+
+
+@dataclass(frozen=True)
+class CliType:
+    """A type reference: primitive, class, or array of element type."""
+
+    name: str
+    primitive: Optional[PrimitiveKind] = None
+    element: Optional["CliType"] = None  # set for arrays
+
+    @property
+    def is_primitive(self) -> bool:
+        return self.primitive is not None
+
+    @property
+    def is_array(self) -> bool:
+        return self.element is not None
+
+    @property
+    def is_reference(self) -> bool:
+        """Reference types live on the managed heap."""
+        if self.is_array:
+            return True
+        return self.primitive in (PrimitiveKind.STRING, PrimitiveKind.OBJECT, None)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.primitive in (
+            PrimitiveKind.INT32,
+            PrimitiveKind.INT64,
+            PrimitiveKind.FLOAT64,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+# Canonical singletons for the primitives.
+VOID = CliType("void", PrimitiveKind.VOID)
+BOOL = CliType("bool", PrimitiveKind.BOOL)
+CHAR = CliType("char", PrimitiveKind.CHAR)
+INT32 = CliType("int32", PrimitiveKind.INT32)
+INT64 = CliType("int64", PrimitiveKind.INT64)
+FLOAT64 = CliType("float64", PrimitiveKind.FLOAT64)
+STRING = CliType("string", PrimitiveKind.STRING)
+OBJECT = CliType("object", PrimitiveKind.OBJECT)
+
+_PRIMITIVES: Dict[str, CliType] = {
+    t.name: t for t in (VOID, BOOL, CHAR, INT32, INT64, FLOAT64, STRING, OBJECT)
+}
+
+
+class TypeRegistry:
+    """Interns types by name so identity comparisons work across the VM.
+
+    Class types are registered once; arrays are derived on demand.
+    """
+
+    def __init__(self) -> None:
+        self._types: Dict[str, CliType] = dict(_PRIMITIVES)
+
+    def primitive(self, name: str) -> CliType:
+        """Look up a built-in by name (``"int32"``, ``"string"``, ...)."""
+        try:
+            t = self._types[name]
+        except KeyError:
+            raise CliError(f"unknown primitive type {name!r}") from None
+        if not t.is_primitive:
+            raise TypeMismatch(f"{name!r} is not a primitive")
+        return t
+
+    def register_class(self, name: str) -> CliType:
+        """Register (or fetch) a class type."""
+        existing = self._types.get(name)
+        if existing is not None:
+            if existing.is_primitive or existing.is_array:
+                raise CliError(f"type name collision on {name!r}")
+            return existing
+        t = CliType(name)
+        self._types[name] = t
+        return t
+
+    def array_of(self, element: CliType) -> CliType:
+        """The single-dimensional array type over ``element``."""
+        name = element.name + "[]"
+        existing = self._types.get(name)
+        if existing is not None:
+            return existing
+        t = CliType(name, element=element)
+        self._types[name] = t
+        return t
+
+    def resolve(self, name: str) -> CliType:
+        """Resolve any registered type name (arrays created on demand)."""
+        if name.endswith("[]"):
+            return self.array_of(self.resolve(name[:-2]))
+        try:
+            return self._types[name]
+        except KeyError:
+            raise CliError(f"unresolved type {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types or (name.endswith("[]") and name[:-2] in self)
+
+    def __len__(self) -> int:
+        return len(self._types)

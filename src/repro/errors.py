@@ -1,0 +1,157 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Subsystems add their own subclasses;
+keeping them all here gives a single import point and avoids circular
+imports between layers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "DeadlockError",
+    "StorageError",
+    "DiskError",
+    "FileSystemError",
+    "FileNotFound",
+    "FileExists",
+    "InvalidHandle",
+    "OutOfSpace",
+    "CliError",
+    "VerificationError",
+    "JitError",
+    "ExecutionFault",
+    "StackUnderflow",
+    "TypeMismatch",
+    "NullReference",
+    "ModelError",
+    "TraceError",
+    "TraceFormatError",
+    "HttpError",
+    "BenchmarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+# --------------------------------------------------------------------------
+# Simulation kernel
+# --------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """Generic error inside the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when ``run()`` is asked to progress but no event is pending
+    while live processes still exist (every process is blocked forever)."""
+
+
+# --------------------------------------------------------------------------
+# Storage / disk layer
+# --------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for the storage substrate."""
+
+
+class DiskError(StorageError):
+    """Invalid request against a disk (out-of-range LBA, zero length...)."""
+
+
+class FileSystemError(StorageError):
+    """Base class for simulated file-system errors."""
+
+
+class FileNotFound(FileSystemError):
+    """Path does not exist in the simulated namespace."""
+
+
+class FileExists(FileSystemError):
+    """Path already exists and exclusive creation was requested."""
+
+
+class InvalidHandle(FileSystemError):
+    """Operation on a closed or never-opened file handle."""
+
+
+class OutOfSpace(FileSystemError):
+    """The simulated volume has no free extents left."""
+
+
+# --------------------------------------------------------------------------
+# CLI virtual machine
+# --------------------------------------------------------------------------
+
+class CliError(ReproError):
+    """Base class for the simulated Common Language Infrastructure."""
+
+
+class VerificationError(CliError):
+    """Bytecode failed verification before JIT/execution."""
+
+
+class JitError(CliError):
+    """The JIT cost model was asked to compile something unsupported."""
+
+
+class ExecutionFault(CliError):
+    """Runtime fault inside the execution engine (managed exception)."""
+
+
+class StackUnderflow(ExecutionFault):
+    """Evaluation stack popped while empty."""
+
+
+class TypeMismatch(ExecutionFault):
+    """Operand types do not match the instruction's expectations."""
+
+
+class NullReference(ExecutionFault):
+    """Dereference of a null object reference."""
+
+
+# --------------------------------------------------------------------------
+# Behavioral model
+# --------------------------------------------------------------------------
+
+class ModelError(ReproError):
+    """Invalid behavioral-model construction (fractions out of range,
+    relative times not summing to one, ...)."""
+
+
+# --------------------------------------------------------------------------
+# Trace benchmark
+# --------------------------------------------------------------------------
+
+class TraceError(ReproError):
+    """Base class for trace-file handling errors."""
+
+
+class TraceFormatError(TraceError):
+    """Malformed trace file (bad magic, truncated record, bad op code)."""
+
+
+# --------------------------------------------------------------------------
+# Web server micro-benchmark
+# --------------------------------------------------------------------------
+
+class HttpError(ReproError):
+    """Malformed HTTP request or unsupported method."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+# --------------------------------------------------------------------------
+# Benchmark harness
+# --------------------------------------------------------------------------
+
+class BenchmarkError(ReproError):
+    """An experiment failed its configuration sanity checks."""

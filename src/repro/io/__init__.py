@@ -1,0 +1,66 @@
+"""Simulated file system, buffer cache, and network transport.
+
+This layer reproduces the OS-side behaviour the paper's benchmarks
+observe through the CLI's class library:
+
+* *"When the file is opened, a page or two is placed in I/O buffers"*
+  → :class:`FileSystem` issues an asynchronous open-prefetch.
+* *"At the time when a read, write, or seek operation is performed, a
+  prefetch operation will be invoked accordingly"* → every access
+  notifies the :class:`Prefetcher`.
+* *"the time spent closing a file was longer than the time taken to
+  open the file"* → close pays a larger software overhead plus the
+  cost of issuing write-back for the file's dirty pages.
+* Requests that miss the cache block on a real (simulated) disk fetch,
+  producing the orders-of-magnitude latency spikes of Tables 3–4.
+
+The managed wrappers (:class:`FileStream`, :class:`StreamWriter`) give
+the CLI layer the same surface the paper's C# code uses.
+"""
+
+from repro.io.buffercache import BufferCache, CacheParams, CacheStats
+from repro.io.eviction import (
+    ClockPolicy,
+    FifoPolicy,
+    LruPolicy,
+    make_eviction_policy,
+)
+from repro.io.prefetch import (
+    AdaptivePrefetch,
+    FixedAheadPrefetch,
+    NoPrefetch,
+    Prefetcher,
+    make_prefetch_policy,
+)
+from repro.io.filesystem import FileHandle, FileSystem, FsParams, Inode
+from repro.io.filestream import FileStream, FileMode, SeekOrigin
+from repro.io.streamwriter import StreamReader, StreamWriter
+from repro.io.net import Network, NetworkStream, Socket, TcpListener
+
+__all__ = [
+    "BufferCache",
+    "CacheParams",
+    "CacheStats",
+    "LruPolicy",
+    "FifoPolicy",
+    "ClockPolicy",
+    "make_eviction_policy",
+    "Prefetcher",
+    "NoPrefetch",
+    "FixedAheadPrefetch",
+    "AdaptivePrefetch",
+    "make_prefetch_policy",
+    "FileSystem",
+    "FsParams",
+    "FileHandle",
+    "Inode",
+    "FileStream",
+    "FileMode",
+    "SeekOrigin",
+    "StreamWriter",
+    "StreamReader",
+    "Network",
+    "TcpListener",
+    "Socket",
+    "NetworkStream",
+]

@@ -1,0 +1,422 @@
+"""Page-granular buffer cache over a block device.
+
+The cache holds *metadata only* (which pages are resident and whether
+they are dirty) — no payload bytes, since the simulation tracks sizes,
+not contents.  Pages are keyed ``(file_id, page_index)``, evicted LRU,
+and fetched from the device in contiguous batched runs.
+
+Concurrency: a page being fetched is *in flight*; concurrent demanders
+wait on the same completion event instead of duplicating device
+traffic.  Dirty pages evicted or flushed are written back by an
+asynchronous writer process, so only the *issue* cost lands on the
+caller — mirroring OS write-behind, and producing the paper's
+"close is slower than open, but not disk-slow" measurements.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.errors import StorageError
+from repro.sim import Engine
+from repro.sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.io.filesystem import Inode
+
+__all__ = ["CacheParams", "CacheStats", "BufferCache", "PageState"]
+
+
+class PageState(enum.Enum):
+    CLEAN = "clean"
+    DIRTY = "dirty"
+
+
+@dataclass(frozen=True)
+class CacheParams:
+    """Sizing and cost parameters.
+
+    ``capacity_pages`` defaults to 16384 × 4 KiB = 64 MiB, a plausible
+    page-cache share on the paper's 2004 test machine.
+    ``page_touch_cost`` is the software cost of delivering one cached
+    page to the caller (lookup + copy bookkeeping).
+    ``writeback_issue_cost`` is the per-page cost of queueing an
+    asynchronous write-back (charged to flushers/evicters).
+    """
+
+    page_size: int = 4096
+    capacity_pages: int = 16384
+    page_touch_cost: float = 60e-9
+    writeback_issue_cost: float = 30e-9
+    eviction: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.page_size < 1:
+            raise StorageError(f"page_size must be >= 1, got {self.page_size}")
+        if self.capacity_pages < 1:
+            raise StorageError(f"capacity_pages must be >= 1, got {self.capacity_pages}")
+        if self.page_touch_cost < 0 or self.writeback_issue_cost < 0:
+            raise StorageError("per-page costs must be >= 0")
+        from repro.io.eviction import EVICTION_POLICIES
+
+        if self.eviction not in EVICTION_POLICIES:
+            raise StorageError(
+                f"unknown eviction policy {self.eviction!r}; "
+                f"choices: {sorted(EVICTION_POLICIES)}"
+            )
+
+
+@dataclass
+class CacheStats:
+    """Running counters; read them after an experiment."""
+
+    hits: int = 0
+    misses: int = 0
+    inflight_waits: int = 0
+    prefetches_issued: int = 0
+    prefetch_hits: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses + self.inflight_waits
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+
+class BufferCache:
+    """LRU page cache bound to one block device.
+
+    The device must expose ``block_size`` and
+    ``submit_range(lba, nblocks, is_write) -> Event``
+    (both :class:`~repro.storage.disk.Disk` and
+    :class:`~repro.storage.raid.StripedArray` qualify).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        device,
+        params: Optional[CacheParams] = None,
+        probe=None,
+    ) -> None:
+        from repro.sim.probe import NULL_PROBE
+
+        self.engine = engine
+        self.device = device
+        self.probe = probe if probe is not None else NULL_PROBE
+        self.params = params or CacheParams()
+        if self.params.page_size % device.block_size != 0:
+            raise StorageError(
+                f"page size {self.params.page_size} not a multiple of "
+                f"device block size {device.block_size}"
+            )
+        self.blocks_per_page = self.params.page_size // device.block_size
+        from repro.io.eviction import make_eviction_policy
+
+        self._pages: Dict[Tuple[int, int], PageState] = {}
+        self._policy = make_eviction_policy(self.params.eviction)
+        self._inflight: Dict[Tuple[int, int], Event] = {}
+        self.stats = CacheStats()
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    def is_resident(self, inode: "Inode", page: int) -> bool:
+        return (inode.file_id, page) in self._pages
+
+    def is_dirty(self, inode: "Inode", page: int) -> bool:
+        return self._pages.get((inode.file_id, page)) is PageState.DIRTY
+
+    def is_inflight(self, inode: "Inode", page: int) -> bool:
+        return (inode.file_id, page) in self._inflight
+
+    def dirty_pages_of(self, inode: "Inode") -> List[int]:
+        fid = inode.file_id
+        return [p for (f, p), st in self._pages.items() if f == fid and st is PageState.DIRTY]
+
+    def resident_pages_of(self, inode: "Inode") -> List[int]:
+        fid = inode.file_id
+        return [p for (f, p) in self._pages if f == fid]
+
+    # -- core operations ---------------------------------------------------
+
+    def access(self, inode: "Inode", first_page: int, npages: int):
+        """Generator: make pages [first, first+npages) resident and
+        charge delivery cost.  Returns ``(hits, misses)``.
+
+        Misses are fetched from the device in contiguous batched runs;
+        in-flight pages (e.g. being prefetched) are awaited, counting
+        as neither a pure hit nor a cold miss.
+        """
+        if npages < 1:
+            raise StorageError(f"npages must be >= 1, got {npages}")
+        hits = misses = 0
+        run_start: Optional[int] = None  # start of current absent run
+        waits: List[Event] = []
+
+        def flush_run(upto: int):
+            nonlocal run_start
+            if run_start is not None:
+                yield from self._fetch_run(inode, run_start, upto - run_start)
+                run_start = None
+
+        for page in range(first_page, first_page + npages):
+            key = (inode.file_id, page)
+            if key in self._pages:
+                yield from flush_run(page)
+                self._policy.on_access(key)
+                self.stats.hits += 1
+                hits += 1
+            elif key in self._inflight:
+                yield from flush_run(page)
+                self.stats.inflight_waits += 1
+                waits.append(self._inflight[key])
+            else:
+                if run_start is None:
+                    run_start = page
+                self.stats.misses += 1
+                misses += 1
+        yield from flush_run(first_page + npages)
+        for ev in waits:
+            if not ev.processed:
+                yield ev
+        # Software delivery cost for every page touched.
+        yield self.engine.timeout(self.params.page_touch_cost * npages)
+        return hits, misses
+
+    def _fetch_run(self, inode: "Inode", first_page: int, npages: int):
+        """Generator: synchronous device read of a contiguous page run.
+
+        The file's extent map may break the run into several physically
+        contiguous fragments; each becomes one device request.
+        """
+        if self.probe.enabled:
+            self.probe.record(
+                "cache", "demand fetch",
+                file=inode.file_id, first_page=first_page, npages=npages,
+            )
+        done = self._begin_fetch(inode, first_page, npages)
+        yield from self._complete_fetch(inode, first_page, npages, done)
+
+    def _complete_fetch(self, inode: "Inode", first_page: int, npages: int, done: Event):
+        """Generator: issue the device reads for an already-registered
+        in-flight run and publish the pages when they land."""
+        for ev in self._issue_reads(inode, first_page, npages):
+            yield ev
+        self._finish_fetch(inode, first_page, npages, done)
+
+    def _begin_fetch(self, inode: "Inode", first_page: int, npages: int) -> Event:
+        done = self.engine.event()
+        for page in range(first_page, first_page + npages):
+            self._inflight[(inode.file_id, page)] = done
+        return done
+
+    def _issue_reads(self, inode: "Inode", first_page: int, npages: int) -> List[Event]:
+        events = []
+        for lba, nblocks in inode.physical_runs(
+            first_page * self.blocks_per_page, npages * self.blocks_per_page
+        ):
+            events.append(self.device.submit_range(lba, nblocks, is_write=False))
+        return events
+
+    def _finish_fetch(self, inode: "Inode", first_page: int, npages: int, done: Event) -> None:
+        for page in range(first_page, first_page + npages):
+            key = (inode.file_id, page)
+            self._inflight.pop(key, None)
+            self._insert(key, PageState.CLEAN)
+        done.succeed()
+
+    def prefetch(self, inode: "Inode", first_page: int, npages: int) -> int:
+        """Issue an *asynchronous* fetch for absent pages in the range.
+
+        Returns the number of pages actually scheduled.  The fetch runs
+        as a background process; demand reads arriving meanwhile wait
+        on the in-flight event rather than duplicating device work.
+        """
+        if npages < 1:
+            return 0
+        max_page = inode.page_count(self.params.page_size)
+        pages = [
+            p
+            for p in range(first_page, first_page + npages)
+            if p < max_page
+            and (inode.file_id, p) not in self._pages
+            and (inode.file_id, p) not in self._inflight
+        ]
+        if not pages:
+            return 0
+        # Break into contiguous runs and fetch each in the background.
+        runs: List[Tuple[int, int]] = []
+        start = prev = pages[0]
+        for p in pages[1:]:
+            if p == prev + 1:
+                prev = p
+            else:
+                runs.append((start, prev - start + 1))
+                start = prev = p
+        runs.append((start, prev - start + 1))
+        for run_start, run_len in runs:
+            # Register in-flight *now* so demand reads and repeated
+            # prefetch calls see these pages immediately.
+            if self.probe.enabled:
+                self.probe.record(
+                    "cache", "prefetch",
+                    file=inode.file_id, first_page=run_start, npages=run_len,
+                )
+            done = self._begin_fetch(inode, run_start, run_len)
+            self.engine.process(
+                self._complete_fetch(inode, run_start, run_len, done),
+                name=f"prefetch[{inode.file_id}:{run_start}+{run_len}]",
+                daemon=True,
+            )
+        self.stats.prefetches_issued += len(pages)
+        return len(pages)
+
+    def write_pages(self, inode: "Inode", first_page: int, npages: int, partial_head: bool, partial_tail: bool):
+        """Generator: make pages writable and mark them dirty.
+
+        A *partial* first/last page that already holds file data must be
+        read before being overwritten (read-modify-write); full-page
+        overwrites and appends skip the fetch.
+        Returns the number of pages that required a fetch.
+        """
+        if npages < 1:
+            raise StorageError(f"npages must be >= 1, got {npages}")
+        fetched = 0
+        last_page = first_page + npages - 1
+        file_pages = inode.page_count(self.params.page_size)
+        for page in range(first_page, first_page + npages):
+            key = (inode.file_id, page)
+            needs_rmw = (
+                (page == first_page and partial_head) or (page == last_page and partial_tail)
+            ) and page < file_pages
+            if key in self._inflight:
+                ev = self._inflight[key]
+                if not ev.processed:
+                    yield ev
+            if key not in self._pages and needs_rmw:
+                yield from self._fetch_run(inode, page, 1)
+                fetched += 1
+            self._insert(key, PageState.DIRTY)
+        yield self.engine.timeout(self.params.page_touch_cost * npages)
+        return fetched
+
+    def flush_file(self, inode: "Inode"):
+        """Generator: issue asynchronous write-back for every dirty page
+        of ``inode``; the caller pays only the issue cost.  Returns the
+        number of pages queued for write-back."""
+        dirty = sorted(self.dirty_pages_of(inode))
+        for page in dirty:
+            self._pages[(inode.file_id, page)] = PageState.CLEAN
+        if dirty:
+            self._writeback_async(inode, dirty)
+            yield self.engine.timeout(self.params.writeback_issue_cost * len(dirty))
+        else:
+            yield self.engine.timeout(0.0)
+        return len(dirty)
+
+    def sync_file(self, inode: "Inode"):
+        """Generator: synchronous flush — waits for the device writes.
+        Returns the number of pages written."""
+        dirty = sorted(self.dirty_pages_of(inode))
+        for page in dirty:
+            self._pages[(inode.file_id, page)] = PageState.CLEAN
+        events = []
+        for start, length in _contiguous_runs(dirty):
+            for lba, nblocks in inode.physical_runs(
+                start * self.blocks_per_page, length * self.blocks_per_page
+            ):
+                events.append(self.device.submit_range(lba, nblocks, is_write=True))
+        for ev in events:
+            yield ev
+        self.stats.writebacks += len(dirty)
+        return len(dirty)
+
+    def invalidate_file(self, inode: "Inode") -> int:
+        """Drop every resident page of ``inode`` (dirty pages are lost —
+        callers flush first).  Returns the number of pages dropped."""
+        victims = [(f, p) for (f, p) in self._pages if f == inode.file_id]
+        for key in victims:
+            del self._pages[key]
+            self._policy.on_remove(key)
+        return len(victims)
+
+    # -- internals -----------------------------------------------------------
+
+    def _writeback_async(self, inode: "Inode", pages: List[int]) -> None:
+        def writer():
+            for start, length in _contiguous_runs(pages):
+                for lba, nblocks in inode.physical_runs(
+                    start * self.blocks_per_page, length * self.blocks_per_page
+                ):
+                    yield self.device.submit_range(lba, nblocks, is_write=True)
+            self.stats.writebacks += len(pages)
+
+        self.engine.process(writer(), name=f"writeback[{inode.file_id}]", daemon=True)
+
+    def _insert(self, key: Tuple[int, int], state: PageState) -> None:
+        if key in self._pages:
+            # Upgrade clean → dirty, never silently downgrade.
+            if state is PageState.DIRTY or self._pages[key] is PageState.CLEAN:
+                self._pages[key] = state
+            self._policy.on_access(key)
+            return
+        while len(self._pages) >= self.params.capacity_pages:
+            self._evict_one()
+        self._pages[key] = state
+        self._policy.on_insert(key)
+
+    def _evict_one(self) -> None:
+        victim_key = self._policy.victim()
+        victim_state = self._pages.pop(victim_key)
+        self.stats.evictions += 1
+        if self.probe.enabled:
+            self.probe.record(
+                "cache", "evict",
+                file=victim_key[0], page=victim_key[1],
+                dirty=victim_state is PageState.DIRTY,
+            )
+        if victim_state is PageState.DIRTY:
+            # Lost-update safety: queue an async write-back for the victim.
+            file_id, page = victim_key
+            inode = self._inode_lookup(file_id)
+            if inode is not None:
+                self._writeback_async(inode, [page])
+
+    # The file system registers a resolver so eviction can map file ids
+    # back to inodes for write-back.
+    _resolver = None
+
+    def register_inode_resolver(self, resolver) -> None:
+        """``resolver(file_id) -> Inode | None``; set by the file system."""
+        self._resolver = resolver
+
+    def _inode_lookup(self, file_id: int):
+        return self._resolver(file_id) if self._resolver is not None else None
+
+
+def _contiguous_runs(sorted_pages: List[int]) -> List[Tuple[int, int]]:
+    """Group a sorted page list into (start, length) contiguous runs."""
+    runs: List[Tuple[int, int]] = []
+    if not sorted_pages:
+        return runs
+    start = prev = sorted_pages[0]
+    for p in sorted_pages[1:]:
+        if p == prev + 1:
+            prev = p
+        else:
+            runs.append((start, prev - start + 1))
+            start = prev = p
+    runs.append((start, prev - start + 1))
+    return runs

@@ -1,0 +1,130 @@
+"""``FileStream`` — the CLR-style stream facade over the file system.
+
+The paper's micro-benchmark times exactly this surface: *"The time
+taken for performing the read operation includes: (1) creating an
+instance of filestream class, (2) reading the data from the file, and
+(3) closing the filestream."*  :meth:`FileStream.open` /
+:meth:`FileStream.read` / :meth:`FileStream.close` reproduce those
+three components (construction charges the file-system open path).
+
+All methods that move data are generator coroutines::
+
+    stream = yield from FileStream.open(fs, "/www/pic.jpg", FileMode.OPEN)
+    n = yield from stream.read(4096)
+    yield from stream.close()
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import FileSystemError, InvalidHandle
+from repro.io.filesystem import FileHandle, FileSystem
+
+__all__ = ["FileMode", "SeekOrigin", "FileStream"]
+
+
+class FileMode(enum.Enum):
+    """Subset of ``System.IO.FileMode`` the benchmarks use."""
+
+    OPEN = "open"                    # must exist, read-only by default
+    CREATE = "create"                # create or truncate, writable
+    OPEN_OR_CREATE = "open_or_create"  # writable
+    APPEND = "append"                # writable, position at end
+
+
+class SeekOrigin(enum.Enum):
+    """``System.IO.SeekOrigin``."""
+
+    BEGIN = "begin"
+    CURRENT = "current"
+    END = "end"
+
+
+class FileStream:
+    """A positioned byte stream over one open file."""
+
+    def __init__(self, fs: FileSystem, handle: FileHandle, mode: FileMode) -> None:
+        self.fs = fs
+        self.handle = handle
+        self.mode = mode
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def open(cls, fs: FileSystem, path: str, mode: FileMode = FileMode.OPEN):
+        """Generator: construct a stream (the paper's component (1))."""
+        if mode is FileMode.OPEN:
+            handle = yield from fs.open(path, writable=False)
+        elif mode is FileMode.CREATE:
+            if fs.exists(path):
+                yield from fs.delete(path)
+            handle = yield from fs.open(path, writable=True, create=True)
+        elif mode is FileMode.OPEN_OR_CREATE:
+            handle = yield from fs.open(path, writable=True, create=True)
+        elif mode is FileMode.APPEND:
+            handle = yield from fs.open(path, writable=True, create=True)
+            handle.position = handle.inode.size_bytes
+        else:  # pragma: no cover - exhaustive over enum
+            raise FileSystemError(f"unsupported mode {mode!r}")
+        return cls(fs, handle, mode)
+
+    def close(self):
+        """Generator: flush and release (the paper's component (3))."""
+        yield from self.fs.close(self.handle)
+
+    @property
+    def is_open(self) -> bool:
+        return self.handle.open
+
+    # -- positioned I/O ----------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        return self.handle.position
+
+    @property
+    def length(self) -> int:
+        """Current file size in bytes."""
+        return self.handle.inode.size_bytes
+
+    def read(self, nbytes: int):
+        """Generator: read up to ``nbytes`` at the stream position
+        (the paper's component (2)).  Returns bytes read (0 at EOF)."""
+        count = yield from self.fs.read(self.handle, nbytes)
+        return count
+
+    def write(self, nbytes: int):
+        """Generator: write ``nbytes`` at the stream position."""
+        count = yield from self.fs.write(self.handle, nbytes)
+        return count
+
+    def seek(self, offset: int, origin: SeekOrigin = SeekOrigin.BEGIN):
+        """Generator: reposition the stream.  Returns the new position."""
+        if origin is SeekOrigin.BEGIN:
+            target = offset
+        elif origin is SeekOrigin.CURRENT:
+            target = self.handle.position + offset
+        else:
+            target = self.handle.inode.size_bytes + offset
+        if target < 0:
+            raise FileSystemError(f"seek before start of file ({target})")
+        pos = yield from self.fs.seek(self.handle, target)
+        return pos
+
+    def read_to_end(self, chunk: int = 65536):
+        """Generator: read from the current position to EOF in chunks.
+        Returns total bytes read."""
+        if chunk < 1:
+            raise FileSystemError(f"chunk must be >= 1, got {chunk}")
+        total = 0
+        while True:
+            got = yield from self.read(chunk)
+            if got == 0:
+                return total
+            total += got
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.is_open else "closed"
+        return f"<FileStream {self.handle.inode.path!r} {state} pos={self.position}>"

@@ -1,0 +1,240 @@
+"""Simulated TCP: listener, sockets, and network streams.
+
+The micro-benchmark's server "starts listening on port 5050 using
+TcpListener class ... accepts the connection by using AcceptSocket(),
+which returns a socket descriptor"; this module provides that surface
+on the event engine.
+
+Model: each established connection gets a dedicated duplex pair of
+bandwidth/latency channels (a switched LAN — flows do not contend on
+the wire, they contend at the endpoints).  Data is tracked as byte
+counts, chunked by the sender's writes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim import Channel, Engine, Store
+from repro.units import MB
+
+__all__ = ["Network", "TcpListener", "Socket", "NetworkStream"]
+
+_EOF = object()
+_socket_ids = itertools.count(1)
+
+
+class Network:
+    """Address registry + link parameters for one simulated LAN.
+
+    Defaults model 100 Mb/s switched Ethernet with 100 µs one-way
+    latency — the paper-era lab network.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        bandwidth: float = 12.5 * MB,  # 100 Mb/s in bytes/s
+        latency: float = 100e-6,
+        connect_overhead: float = 50e-6,
+    ) -> None:
+        if bandwidth <= 0:
+            raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0 or connect_overhead < 0:
+            raise SimulationError("latency/connect overhead must be >= 0")
+        self.engine = engine
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.connect_overhead = connect_overhead
+        self._listeners: Dict[Tuple[str, int], "TcpListener"] = {}
+
+    def _register(self, listener: "TcpListener") -> None:
+        key = (listener.host, listener.port)
+        if key in self._listeners:
+            raise SimulationError(f"address {key} already in use")
+        self._listeners[key] = listener
+
+    def _unregister(self, listener: "TcpListener") -> None:
+        self._listeners.pop((listener.host, listener.port), None)
+
+    def connect(self, host: str, port: int):
+        """Generator: open a connection to a listening endpoint.
+
+        Pays the three-way-handshake cost (one round trip + software
+        overhead) and returns the client-side :class:`Socket`.
+        """
+        key = (host, port)
+        listener = self._listeners.get(key)
+        if listener is None or not listener.listening:
+            raise SimulationError(f"connection refused: no listener at {key}")
+        yield self.engine.timeout(2 * self.latency + self.connect_overhead)
+        client, server = Socket.pair(self)
+        listener._backlog.put(server)
+        return client
+
+
+class TcpListener:
+    """Server-side listening endpoint (``TcpListener`` in the paper)."""
+
+    def __init__(self, network: Network, host: str = "localhost", port: int = 5050) -> None:
+        self.network = network
+        self.host = host
+        self.port = port
+        self.listening = False
+        self._backlog: Store = Store(network.engine, name=f"backlog:{host}:{port}")
+
+    def start(self) -> None:
+        """Begin accepting connections (registers the address)."""
+        if self.listening:
+            return
+        self.network._register(self)
+        self.listening = True
+
+    def stop(self) -> None:
+        """Stop accepting; queued connections remain acceptable."""
+        if not self.listening:
+            return
+        self.network._unregister(self)
+        self.listening = False
+
+    @property
+    def pending(self) -> int:
+        """Connections waiting in the backlog."""
+        return self._backlog.count
+
+    def accept_socket(self):
+        """Generator: block until a connection arrives; returns the
+        server-side :class:`Socket` (the paper's ``AcceptSocket()``)."""
+        if not self.listening and self._backlog.count == 0:
+            raise SimulationError("accept on a stopped listener with empty backlog")
+        sock = yield self._backlog.get()
+        return sock
+
+
+class Socket:
+    """One endpoint of an established connection."""
+
+    def __init__(self, network: Network, outgoing: Channel, incoming: Store) -> None:
+        self.socket_id = next(_socket_ids)
+        self.network = network
+        self._outgoing = outgoing
+        self._incoming = incoming
+        self._pending = 0  # bytes received but not yet consumed
+        self._eof = False
+        self._closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._peer: Optional["Socket"] = None
+        self._deliver_to: Optional[Store] = None  # wired by pair()
+        # Application payloads (e.g. HTTP text) delivered alongside the
+        # byte counts, in arrival order.  The simulation tracks data as
+        # sizes; payloads let endpoints parse real message contents.
+        self._rx_payloads: list = []
+
+    @classmethod
+    def pair(cls, network: Network) -> Tuple["Socket", "Socket"]:
+        """Create a connected duplex socket pair."""
+        eng = network.engine
+        a_to_b = Channel(eng, network.bandwidth, network.latency, name="a->b")
+        b_to_a = Channel(eng, network.bandwidth, network.latency, name="b->a")
+        a_in: Store = Store(eng, name="a.in")
+        b_in: Store = Store(eng, name="b.in")
+        a = cls(network, outgoing=a_to_b, incoming=a_in)
+        b = cls(network, outgoing=b_to_a, incoming=b_in)
+        a._peer, b._peer = b, a
+
+        # Wire each channel's deliveries into the peer's inbox: the
+        # sender process pushes after its transfer completes (below),
+        # so no extra machinery is needed here.
+        a._deliver_to = b_in
+        b._deliver_to = a_in
+        return a, b
+
+    def send(self, nbytes: int, payload=None):
+        """Generator: transmit ``nbytes`` to the peer.  Occupies this
+        direction's channel for the transfer; the peer can ``receive``
+        the bytes once they arrive.  ``payload`` (any object, e.g. the
+        HTTP message text) rides along and becomes available to the
+        peer's :meth:`take_payloads` once the bytes have arrived."""
+        if self._closed:
+            raise SimulationError("send on closed socket")
+        if nbytes < 0:
+            raise SimulationError(f"negative send: {nbytes}")
+        if nbytes == 0:
+            yield self.network.engine.timeout(0.0)
+            return 0
+        yield from self._outgoing.send(nbytes)
+        self._deliver_to.put((nbytes, payload))
+        self.bytes_sent += nbytes
+        return nbytes
+
+    def receive(self, max_bytes: int):
+        """Generator: deliver up to ``max_bytes``.  Blocks until at
+        least one chunk (or EOF) is available; returns 0 at EOF."""
+        if max_bytes < 1:
+            raise SimulationError(f"receive needs max_bytes >= 1, got {max_bytes}")
+        if self._pending == 0 and not self._eof:
+            chunk = yield self._incoming.get()
+            self._ingest(chunk)
+        # Drain any further chunks that already arrived (non-blocking).
+        while not self._eof and self._incoming.count > 0:
+            ev = self._incoming.get()
+            self._ingest(ev.value)  # Store.get on a non-empty store succeeds now
+        take = min(self._pending, max_bytes)
+        self._pending -= take
+        self.bytes_received += take
+        return take
+
+    def _ingest(self, chunk) -> None:
+        if chunk is _EOF:
+            self._eof = True
+            return
+        nbytes, payload = chunk
+        self._pending += nbytes
+        if payload is not None:
+            self._rx_payloads.append(payload)
+
+    def take_payloads(self) -> list:
+        """Application payloads received so far (clears the buffer)."""
+        out = self._rx_payloads
+        self._rx_payloads = []
+        return out
+
+    def close(self):
+        """Generator: half-close — signal EOF to the peer."""
+        if self._closed:
+            yield self.network.engine.timeout(0.0)
+            return
+        self._closed = True
+        yield self.network.engine.timeout(self.network.latency)
+        self._deliver_to.put(_EOF)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Socket {self.socket_id} sent={self.bytes_sent} "
+            f"recv={self.bytes_received}{' closed' if self._closed else ''}>"
+        )
+
+
+class NetworkStream:
+    """Thin stream facade over a :class:`Socket` (the C# class the
+    paper's ``StartListen()`` builds around the accepted socket)."""
+
+    def __init__(self, socket: Socket) -> None:
+        self.socket = socket
+
+    def read(self, max_bytes: int):
+        """Generator: receive up to ``max_bytes`` (0 at EOF)."""
+        got = yield from self.socket.receive(max_bytes)
+        return got
+
+    def write(self, nbytes: int):
+        """Generator: send ``nbytes``."""
+        sent = yield from self.socket.send(nbytes)
+        return sent
+
+    def close(self):
+        """Generator: close the underlying socket."""
+        yield from self.socket.close()

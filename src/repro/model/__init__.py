@@ -1,0 +1,77 @@
+"""Application behavioral model (paper §2).
+
+The model extends Rosti et al.'s parallel-program model with
+communication requirements:
+
+* a parallel **application** is a set of programs executing in a
+  coordinated manner;
+* a **program** is a vector of working sets
+  ``Γ = [Γ1, ..., ΓM]``;
+* a **working set** ``Γi = (φi, γi, ρi, τi)`` gives the I/O fraction,
+  communication fraction, per-phase relative execution time, and the
+  number of statistically identical phases;
+* a **phase** is an I/O burst, then a computation burst, then possibly
+  a communication burst (Eq. 1: ``Ti = Ti_CPU + Ti_COM + Ti_Disk``).
+
+:mod:`repro.model.qcrd` instantiates the paper's QCRD application
+(Eqs. 8–10); :mod:`repro.model.executor` runs a modeled application on
+a simulated machine (CPUs + striped disks + network);
+:mod:`repro.model.speedup` produces the Figure 4/5 scaling studies.
+"""
+
+from repro.model.phase import Phase
+from repro.model.workingset import WorkingSet
+from repro.model.program import Program
+from repro.model.application import Application
+from repro.model.qcrd import build_qcrd, QCRD_P1_TOTAL_TIME, QCRD_P2_TOTAL_TIME
+from repro.model.synthetic import SyntheticAppParams, generate_application
+from repro.model.executor import (
+    ApplicationExecutor,
+    ExecutionResult,
+    MachineConfig,
+    ProgramResult,
+)
+from repro.model.speedup import cpu_speedup_study, disk_speedup_study
+from repro.model.analysis import (
+    predict_application_time,
+    predict_program_time,
+    predict_speedup,
+    speedup_bound,
+)
+from repro.model.inference import infer_working_sets, program_from_phases
+from repro.model.distributed import (
+    CLUSTER_LINK,
+    FabricConfig,
+    PointToPointFabric,
+    WAN_LINK,
+    distributed_machine,
+)
+
+__all__ = [
+    "Phase",
+    "WorkingSet",
+    "Program",
+    "Application",
+    "build_qcrd",
+    "QCRD_P1_TOTAL_TIME",
+    "QCRD_P2_TOTAL_TIME",
+    "SyntheticAppParams",
+    "generate_application",
+    "MachineConfig",
+    "ApplicationExecutor",
+    "ExecutionResult",
+    "ProgramResult",
+    "cpu_speedup_study",
+    "disk_speedup_study",
+    "predict_program_time",
+    "predict_application_time",
+    "predict_speedup",
+    "speedup_bound",
+    "infer_working_sets",
+    "program_from_phases",
+    "FabricConfig",
+    "PointToPointFabric",
+    "distributed_machine",
+    "CLUSTER_LINK",
+    "WAN_LINK",
+]

@@ -1,0 +1,98 @@
+"""Closed-form predictions from the behavioral model.
+
+The executor *simulates* an application on hardware; this module
+*predicts* the same quantities analytically from Eqs. 2–5, assuming
+per-node resources and perfect burst-level scaling:
+
+    T(program; P CPUs, D disks) = R_CPU/P + R_Disk/D + R_COM
+    T(application)              = max over programs   (concurrent nodes)
+
+The predictions give the Amdahl-style envelopes behind Figures 4–5:
+disk speedup is bounded by the longest program's non-I/O share, CPU
+speedup by its non-CPU share.  Tests verify the simulation tracks the
+prediction within a small tolerance, which is exactly the validation
+the paper performs against the real QCRD ("the error rate is less
+than 10%").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import ModelError
+from repro.model.application import Application
+from repro.model.program import Program
+
+__all__ = [
+    "predict_program_time",
+    "predict_application_time",
+    "predict_speedup",
+    "speedup_bound",
+]
+
+
+def predict_program_time(program: Program, cpus: int = 1, disks: int = 1) -> float:
+    """Predicted completion time of one program on its node."""
+    if cpus < 1 or disks < 1:
+        raise ModelError("resource counts must be >= 1")
+    return (
+        program.cpu_requirement / cpus
+        + program.disk_requirement / disks
+        + program.comm_requirement
+    )
+
+
+def predict_application_time(
+    application: Application, cpus: int = 1, disks: int = 1
+) -> float:
+    """Predicted makespan: programs run concurrently on their own
+    nodes, so the application finishes with its slowest program."""
+    return max(
+        predict_program_time(p, cpus, disks) for p in application.programs
+    )
+
+
+def predict_speedup(
+    application: Application,
+    resource: str,
+    counts: Sequence[int],
+    baseline: int = 1,
+) -> Dict[int, float]:
+    """Predicted speedup curve for ``resource`` ∈ {"cpus", "disks"}."""
+    if resource not in ("cpus", "disks"):
+        raise ModelError(f"resource must be 'cpus' or 'disks', got {resource!r}")
+
+    def time_at(count: int) -> float:
+        kwargs = {resource: count}
+        return predict_application_time(application, **kwargs)
+
+    base = time_at(baseline)
+    out = {baseline: 1.0}
+    for count in counts:
+        out[count] = base / time_at(count)
+    return out
+
+
+def speedup_bound(application: Application, resource: str) -> float:
+    """The Amdahl limit: speedup as the resource count → ∞.
+
+    With infinite CPUs, each program still pays its I/O and
+    communication; with infinite disks, its CPU and communication.
+    The application bound is the baseline time over the largest
+    residual across programs.
+    """
+    if resource not in ("cpus", "disks"):
+        raise ModelError(f"resource must be 'cpus' or 'disks', got {resource!r}")
+    base = predict_application_time(application)
+    residuals = []
+    for p in application.programs:
+        if resource == "cpus":
+            residuals.append(p.disk_requirement + p.comm_requirement)
+        else:
+            residuals.append(p.cpu_requirement + p.comm_requirement)
+    limit = max(residuals)
+    if limit <= 0:
+        raise ModelError(
+            f"unbounded speedup: no program has residual work for {resource!r}"
+        )
+    return base / limit

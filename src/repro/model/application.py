@@ -1,0 +1,84 @@
+"""Application: a set of interdependent programs (Eq. 8)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ModelError
+from repro.model.program import Program
+
+__all__ = ["Application"]
+
+
+class Application:
+    """A parallel application — programs that execute concurrently in a
+    coordinated manner.  Aggregate requirements are the sums of the
+    member programs' requirements (how Figure 2's "Application" bars
+    are computed)."""
+
+    def __init__(self, name: str, programs: Sequence[Program]) -> None:
+        if not programs:
+            raise ModelError(f"application {name!r} needs at least one program")
+        names = [p.name for p in programs]
+        if len(set(names)) != len(names):
+            raise ModelError(f"application {name!r}: duplicate program names")
+        self.name = name
+        self.programs: List[Program] = list(programs)
+
+    def program(self, name: str) -> Program:
+        for p in self.programs:
+            if p.name == name:
+                return p
+        raise ModelError(f"no program {name!r} in application {self.name!r}")
+
+    # -- aggregate requirements ---------------------------------------------------
+
+    @property
+    def execution_time(self) -> float:
+        """Aggregate demand: Σ over programs of Eq. 2."""
+        return sum(p.execution_time for p in self.programs)
+
+    @property
+    def cpu_requirement(self) -> float:
+        return sum(p.cpu_requirement for p in self.programs)
+
+    @property
+    def disk_requirement(self) -> float:
+        return sum(p.disk_requirement for p in self.programs)
+
+    @property
+    def comm_requirement(self) -> float:
+        return sum(p.comm_requirement for p in self.programs)
+
+    @property
+    def io_percentage(self) -> float:
+        return 100.0 * self.disk_requirement / self.execution_time
+
+    @property
+    def cpu_percentage(self) -> float:
+        return 100.0 * self.cpu_requirement / self.execution_time
+
+    @property
+    def comm_percentage(self) -> float:
+        return 100.0 * self.comm_requirement / self.execution_time
+
+    def requirements_table(self) -> Dict[str, Dict[str, float]]:
+        """Per-program and aggregate CPU/IO/COM requirement summary."""
+        rows: Dict[str, Dict[str, float]] = {}
+        for p in self.programs:
+            rows[p.name] = {
+                "cpu": p.cpu_requirement,
+                "io": p.disk_requirement,
+                "comm": p.comm_requirement,
+                "total": p.execution_time,
+            }
+        rows[self.name] = {
+            "cpu": self.cpu_requirement,
+            "io": self.disk_requirement,
+            "comm": self.comm_requirement,
+            "total": self.execution_time,
+        }
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Application {self.name} programs={len(self.programs)}>"

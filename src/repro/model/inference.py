@@ -1,0 +1,92 @@
+"""Working-set inference: from phase observations back to Γ vectors.
+
+The paper defines a working set as "a sequence of consecutive phases
+that are statistically identical".  Profiling a real application
+yields a *phase* sequence (per-phase φ, γ and duration); this module
+performs the inverse mapping — collapsing statistically-identical
+consecutive phases into working sets — so measured behaviour can be
+turned into a :class:`~repro.model.program.Program` and re-simulated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ModelError
+from repro.model.phase import Phase
+from repro.model.program import Program
+from repro.model.workingset import WorkingSet
+
+__all__ = ["infer_working_sets", "program_from_phases"]
+
+
+def _similar(a: Phase, b: Phase, tolerance: float) -> bool:
+    """Statistically identical under a relative/absolute tolerance."""
+    def close(x: float, y: float) -> bool:
+        return abs(x - y) <= tolerance * max(abs(x), abs(y), 1e-12)
+
+    return (
+        close(a.io_fraction, b.io_fraction)
+        and close(a.comm_fraction, b.comm_fraction)
+        and close(a.duration, b.duration)
+    )
+
+
+def infer_working_sets(
+    phases: Sequence[Phase],
+    total_time: float,
+    tolerance: float = 0.02,
+) -> List[WorkingSet]:
+    """Collapse consecutive similar phases into working sets.
+
+    ``total_time`` is the reference the per-phase relative execution
+    times (ρ) are measured against — normally the sum of the phase
+    durations.  Within a collapsed group, parameters are averaged.
+    """
+    if not phases:
+        raise ModelError("cannot infer working sets from zero phases")
+    if total_time <= 0:
+        raise ModelError(f"total_time must be positive, got {total_time}")
+    if tolerance < 0:
+        raise ModelError(f"tolerance must be >= 0, got {tolerance}")
+
+    groups: List[List[Phase]] = [[phases[0]]]
+    for phase in phases[1:]:
+        if _similar(groups[-1][0], phase, tolerance):
+            groups[-1].append(phase)
+        else:
+            groups.append([phase])
+
+    sets: List[WorkingSet] = []
+    for group in groups:
+        n = len(group)
+        phi = sum(p.io_fraction for p in group) / n
+        gamma = sum(p.comm_fraction for p in group) / n
+        duration = sum(p.duration for p in group) / n
+        sets.append(
+            WorkingSet(
+                phi=min(1.0, phi),
+                gamma=min(1.0 - min(1.0, phi), gamma),
+                rho=duration / total_time,
+                tau=n,
+            )
+        )
+    return sets
+
+
+def program_from_phases(
+    name: str,
+    phases: Sequence[Phase],
+    tolerance: float = 0.02,
+) -> Program:
+    """Build a runnable :class:`Program` from observed phases.
+
+    The program's ``total_time`` is the observed sum of durations, so
+    the reconstructed program reproduces the observation exactly (up
+    to within-group averaging).
+    """
+    total = sum(p.duration for p in phases) if phases else 0.0
+    if total <= 0:
+        raise ModelError("phases must have positive total duration")
+    sets = infer_working_sets(phases, total_time=total, tolerance=tolerance)
+    return Program(name, sets, total_time=total)

@@ -1,0 +1,64 @@
+"""A concrete phase: one I/O burst + computation burst + optional
+communication burst, with an absolute duration (Eq. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+__all__ = ["Phase"]
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One disjoint execution interval of a program.
+
+    ``io_fraction`` (φ) and ``comm_fraction`` (γ) give the share of
+    ``duration`` spent in the I/O and communication bursts; the
+    remainder is the computation burst.
+    """
+
+    io_fraction: float
+    comm_fraction: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.io_fraction <= 1.0):
+            raise ModelError(f"I/O fraction out of [0,1]: {self.io_fraction}")
+        if not (0.0 <= self.comm_fraction <= 1.0):
+            raise ModelError(f"comm fraction out of [0,1]: {self.comm_fraction}")
+        if self.io_fraction + self.comm_fraction > 1.0 + 1e-12:
+            raise ModelError(
+                f"φ + γ = {self.io_fraction + self.comm_fraction} exceeds 1"
+            )
+        if self.duration <= 0.0:
+            raise ModelError(f"phase duration must be positive: {self.duration}")
+
+    @property
+    def cpu_fraction(self) -> float:
+        """Computation share: ``1 - φ - γ``."""
+        return max(0.0, 1.0 - self.io_fraction - self.comm_fraction)
+
+    # Eq. 1 decomposition: T = T_CPU + T_COM + T_Disk.
+
+    @property
+    def io_time(self) -> float:
+        """``T_Disk`` for this phase."""
+        return self.io_fraction * self.duration
+
+    @property
+    def comm_time(self) -> float:
+        """``T_COM`` for this phase."""
+        return self.comm_fraction * self.duration
+
+    @property
+    def cpu_time(self) -> float:
+        """``T_CPU`` for this phase."""
+        return self.cpu_fraction * self.duration
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Phase(φ={self.io_fraction:g}, γ={self.comm_fraction:g}, "
+            f"T={self.duration:g}s)"
+        )

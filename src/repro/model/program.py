@@ -1,0 +1,109 @@
+"""Program: a vector of working sets Γ = [Γ1, ..., ΓM] (Eq. 6) plus an
+absolute total execution time, giving Eqs. 2–5 analytically."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ModelError
+from repro.model.phase import Phase
+from repro.model.workingset import WorkingSet
+
+__all__ = ["Program"]
+
+
+class Program:
+    """One program (task) of a parallel application.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    working_sets:
+        The Γ vector.
+    total_time:
+        The program's total (single-resource, uncontended) execution
+        time ``T`` in seconds — Eq. 2's left-hand side.
+    normalize:
+        The paper's published Γ vectors do not always satisfy
+        ``Σ ρi·τi = 1`` exactly (QCRD's sum to 0.89 and 0.39).  With
+        ``normalize=True`` (default) ρ values are rescaled so the
+        expanded phases exactly tile ``total_time``; with False the
+        vector is used as printed and ``total_time`` is interpreted as
+        the reference time ρ is measured against.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        working_sets: Sequence[WorkingSet],
+        total_time: float,
+        normalize: bool = True,
+    ) -> None:
+        if not working_sets:
+            raise ModelError(f"program {name!r} needs at least one working set")
+        if total_time <= 0:
+            raise ModelError(f"program {name!r}: total time must be positive")
+        self.name = name
+        self.working_sets: List[WorkingSet] = list(working_sets)
+        self.total_time = float(total_time)
+        self.normalize = normalize
+        rel = sum(ws.relative_time for ws in self.working_sets)
+        if rel <= 0:
+            raise ModelError(f"program {name!r}: zero total relative time")
+        self._scale = (1.0 / rel) if normalize else 1.0
+
+    # -- expansion -------------------------------------------------------------
+
+    @property
+    def phase_count(self) -> int:
+        """N — the number of phases (Σ τi)."""
+        return sum(ws.tau for ws in self.working_sets)
+
+    def phases(self) -> List[Phase]:
+        """The concrete phase sequence with absolute durations."""
+        out: List[Phase] = []
+        for ws in self.working_sets:
+            out.extend(ws.phases(self.total_time, self._scale))
+        return out
+
+    # -- Eqs. 2–5 ----------------------------------------------------------------
+
+    @property
+    def execution_time(self) -> float:
+        """Eq. 2: T = Σ Ti."""
+        return sum(p.duration for p in self.phases())
+
+    @property
+    def cpu_requirement(self) -> float:
+        """Eq. 3: R_CPU = Σ Ti_CPU."""
+        return sum(p.cpu_time for p in self.phases())
+
+    @property
+    def disk_requirement(self) -> float:
+        """Eq. 4: R_Disk = Σ Ti_Disk."""
+        return sum(p.io_time for p in self.phases())
+
+    @property
+    def comm_requirement(self) -> float:
+        """Eq. 5: R_COM = Σ Ti_COM."""
+        return sum(p.comm_time for p in self.phases())
+
+    @property
+    def io_percentage(self) -> float:
+        """Share of execution time spent on disk I/O, in percent."""
+        return 100.0 * self.disk_requirement / self.execution_time
+
+    @property
+    def cpu_percentage(self) -> float:
+        return 100.0 * self.cpu_requirement / self.execution_time
+
+    @property
+    def comm_percentage(self) -> float:
+        return 100.0 * self.comm_requirement / self.execution_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Program {self.name} M={len(self.working_sets)} "
+            f"N={self.phase_count} T={self.total_time:g}s>"
+        )

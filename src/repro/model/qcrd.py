@@ -1,0 +1,60 @@
+"""The QCRD application (paper §2.2, Eqs. 8–10).
+
+QCRD solves the Schrödinger equation for atom–diatomic-molecule
+scattering cross sections; its I/O is bursty and cyclic.  The paper
+describes it as two independent programs:
+
+* **Program 1** (Eq. 9): a CPU/I/O-alternating cycle repeated 12
+  times — ``Γ1,i = (0.14, 0, 0.066, 1)`` for odd i and
+  ``Γ1,i = (0.97, 0, 0.0082, 1)`` for even i, 24 working sets total.
+* **Program 2** (Eq. 10): 13 identical I/O-heavy phases —
+  ``Γ2 = [(0.92, 0, 0.03, 13)]``.
+
+Absolute program durations are not printed in the paper; the defaults
+below are chosen so the Figure 2 bars land at the published scale
+(tens to ~170 s) while preserving the stated structure: Program 1
+runs longer than Program 2 and is CPU-dominated; Program 2 is
+I/O-dominated.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.model.application import Application
+from repro.model.program import Program
+from repro.model.workingset import WorkingSet
+
+__all__ = ["build_qcrd", "QCRD_P1_TOTAL_TIME", "QCRD_P2_TOTAL_TIME"]
+
+#: Default absolute total execution times (seconds); see module note.
+QCRD_P1_TOTAL_TIME = 120.0
+QCRD_P2_TOTAL_TIME = 55.0
+
+#: Eq. 9 parameters.
+P1_ODD = WorkingSet(phi=0.14, gamma=0.0, rho=0.066, tau=1)
+P1_EVEN = WorkingSet(phi=0.97, gamma=0.0, rho=0.0082, tau=1)
+P1_REPEATS = 12
+
+#: Eq. 10 parameters.
+P2 = WorkingSet(phi=0.92, gamma=0.0, rho=0.03, tau=13)
+
+
+def _program1(total_time: float) -> Program:
+    sets: List[WorkingSet] = []
+    for _ in range(P1_REPEATS):
+        sets.append(P1_ODD)
+        sets.append(P1_EVEN)
+    return Program("Program1", sets, total_time)
+
+
+def _program2(total_time: float) -> Program:
+    return Program("Program2", [P2], total_time)
+
+
+def build_qcrd(
+    p1_total_time: float = QCRD_P1_TOTAL_TIME,
+    p2_total_time: float = QCRD_P2_TOTAL_TIME,
+) -> Application:
+    """Construct the QCRD application: ``Γ = [Γ1, Γ2]`` (Eq. 8)."""
+    return Application("QCRD", [_program1(p1_total_time), _program2(p2_total_time)])

@@ -1,0 +1,72 @@
+"""Scaling studies: speedup vs disk count (Figure 4) and vs CPU count
+(Figure 5).
+
+Speedup(k) = makespan(baseline machine) / makespan(machine with k of
+the varied resource); everything else is held fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ModelError
+from repro.model.application import Application
+from repro.model.executor import ApplicationExecutor, ExecutionResult, MachineConfig
+
+__all__ = ["disk_speedup_study", "cpu_speedup_study", "speedup_study"]
+
+#: The x-axis the paper sweeps in both figures.
+PAPER_COUNTS = (2, 4, 8, 16, 32)
+
+
+def speedup_study(
+    application: Application,
+    resource: str,
+    counts: Sequence[int] = PAPER_COUNTS,
+    baseline: int = 1,
+    machine: Optional[MachineConfig] = None,
+) -> Dict[int, float]:
+    """Generic sweep over ``resource`` ∈ {"disks", "cpus"}.
+
+    Returns ``{count: speedup}`` including the baseline (speedup 1.0).
+    """
+    if resource not in ("disks", "cpus"):
+        raise ModelError(f"resource must be 'disks' or 'cpus', got {resource!r}")
+    if baseline < 1 or any(c < 1 for c in counts):
+        raise ModelError("resource counts must be >= 1")
+    base_machine = machine or MachineConfig()
+
+    def run_with(count: int) -> ExecutionResult:
+        cfg = replace(base_machine, **{resource: count})
+        return ApplicationExecutor(application, cfg).run()
+
+    base = run_with(baseline)
+    if base.makespan <= 0:
+        raise ModelError("baseline run has zero makespan")
+    out: Dict[int, float] = {baseline: 1.0}
+    for count in counts:
+        if count == baseline:
+            continue
+        out[count] = base.makespan / run_with(count).makespan
+    return out
+
+
+def disk_speedup_study(
+    application: Application,
+    counts: Sequence[int] = PAPER_COUNTS,
+    baseline: int = 1,
+    machine: Optional[MachineConfig] = None,
+) -> Dict[int, float]:
+    """Figure 4: speedup as a function of the number of disks."""
+    return speedup_study(application, "disks", counts, baseline, machine)
+
+
+def cpu_speedup_study(
+    application: Application,
+    counts: Sequence[int] = PAPER_COUNTS,
+    baseline: int = 1,
+    machine: Optional[MachineConfig] = None,
+) -> Dict[int, float]:
+    """Figure 5: speedup as a function of the number of CPUs."""
+    return speedup_study(application, "cpus", counts, baseline, machine)

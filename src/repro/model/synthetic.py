@@ -1,0 +1,84 @@
+"""Synthetic application generator.
+
+The paper notes that "application developers can leverage the model
+... to evaluate the performance of I/O- and communication-intensive
+applications without spending a huge amount of time implementing the
+applications", and defers other simulated applications to future work.
+This generator produces random-but-reproducible applications in the
+same model, for exploring the executor beyond QCRD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ModelError
+from repro.model.application import Application
+from repro.model.program import Program
+from repro.model.workingset import WorkingSet
+from repro.rng import SeededStreams
+
+__all__ = ["SyntheticAppParams", "generate_application"]
+
+
+@dataclass(frozen=True)
+class SyntheticAppParams:
+    """Ranges the generator draws from (uniformly)."""
+
+    programs: Tuple[int, int] = (2, 4)
+    working_sets: Tuple[int, int] = (2, 8)
+    tau: Tuple[int, int] = (1, 6)
+    io_fraction: Tuple[float, float] = (0.0, 0.9)
+    comm_fraction: Tuple[float, float] = (0.0, 0.5)
+    total_time: Tuple[float, float] = (20.0, 200.0)
+
+    def __post_init__(self) -> None:
+        for name in ("programs", "working_sets", "tau"):
+            lo, hi = getattr(self, name)
+            if lo < 1 or hi < lo:
+                raise ModelError(f"bad range for {name}: ({lo}, {hi})")
+        for name in ("io_fraction", "comm_fraction"):
+            lo, hi = getattr(self, name)
+            if not (0.0 <= lo <= hi <= 1.0):
+                raise ModelError(f"bad range for {name}: ({lo}, {hi})")
+        lo, hi = self.total_time
+        if lo <= 0 or hi < lo:
+            raise ModelError(f"bad range for total_time: ({lo}, {hi})")
+
+
+def generate_application(
+    name: str = "synthetic",
+    params: SyntheticAppParams | None = None,
+    seed: int = 0,
+) -> Application:
+    """Generate a reproducible random application.
+
+    The same ``(params, seed)`` pair always yields the identical
+    application; φ + γ never exceeds 1 (γ is scaled into the slack
+    left by φ)."""
+    p = params or SyntheticAppParams()
+    rng = SeededStreams(seed).get("synthetic-app")
+
+    def randint(lo: int, hi: int) -> int:
+        return int(rng.integers(lo, hi + 1))
+
+    def uniform(lo: float, hi: float) -> float:
+        return float(rng.uniform(lo, hi))
+
+    programs: List[Program] = []
+    nprogs = randint(*p.programs)
+    for pi in range(nprogs):
+        nsets = randint(*p.working_sets)
+        sets: List[WorkingSet] = []
+        for _ in range(nsets):
+            phi = uniform(*p.io_fraction)
+            slack = 1.0 - phi
+            gamma = min(uniform(*p.comm_fraction), slack)
+            tau = randint(*p.tau)
+            # ρ drawn freely; Program normalizes so phases tile the total.
+            rho = uniform(0.01, 1.0)
+            sets.append(WorkingSet(phi=phi, gamma=gamma, rho=rho, tau=tau))
+        total = uniform(*p.total_time)
+        programs.append(Program(f"{name}-p{pi}", sets, total))
+    return Application(name, programs)

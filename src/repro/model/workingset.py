@@ -1,0 +1,59 @@
+"""Working set Γi = (φi, γi, ρi, τi) — Eq. 7."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ModelError
+from repro.model.phase import Phase
+
+__all__ = ["WorkingSet"]
+
+
+@dataclass(frozen=True)
+class WorkingSet:
+    """A run of ``tau`` statistically identical consecutive phases.
+
+    Attributes (paper notation in parentheses):
+
+    * ``phi`` (φ): I/O fraction of each phase;
+    * ``gamma`` (γ): communication fraction of each phase;
+    * ``rho`` (ρ): relative execution time of *each* phase — the ratio
+      of one phase's duration to the program's total execution time;
+    * ``tau`` (τ): number of phases in the working set.
+    """
+
+    phi: float
+    gamma: float
+    rho: float
+    tau: int = 1
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.phi <= 1.0):
+            raise ModelError(f"φ out of [0,1]: {self.phi}")
+        if not (0.0 <= self.gamma <= 1.0):
+            raise ModelError(f"γ out of [0,1]: {self.gamma}")
+        if self.phi + self.gamma > 1.0 + 1e-12:
+            raise ModelError(f"φ + γ = {self.phi + self.gamma} exceeds 1")
+        if self.rho <= 0.0:
+            raise ModelError(f"ρ must be positive: {self.rho}")
+        if not isinstance(self.tau, int) or self.tau < 1:
+            raise ModelError(f"τ must be a positive integer: {self.tau!r}")
+
+    @property
+    def relative_time(self) -> float:
+        """Total relative time contributed by this working set: ρ·τ."""
+        return self.rho * self.tau
+
+    def phases(self, program_total_time: float, scale: float = 1.0) -> List[Phase]:
+        """Expand into ``tau`` concrete phases for a program whose total
+        execution time is ``program_total_time`` (ρ optionally rescaled
+        by ``scale`` to renormalize the program's Γ vector)."""
+        if program_total_time <= 0:
+            raise ModelError(f"program time must be positive: {program_total_time}")
+        duration = self.rho * scale * program_total_time
+        return [Phase(self.phi, self.gamma, duration) for _ in range(self.tau)]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Γ(φ={self.phi:g}, γ={self.gamma:g}, ρ={self.rho:g}, τ={self.tau})"

@@ -1,0 +1,155 @@
+"""The event engine: virtual clock + ordered event queue.
+
+The engine owns simulated time.  It never consults the wall clock;
+``run()`` drains the queue until a stop condition.  Two-key ordering
+``(time, seq)`` with a monotonic sequence counter makes same-time
+events fire in the order they were scheduled, which keeps every
+experiment deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.event import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Deterministic discrete-event engine.
+
+    Parameters
+    ----------
+    start:
+        Initial value of the simulated clock (seconds).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now: float = float(start)
+        self._seq: int = 0
+        # Heap items: (time, seq, payload). A payload is either an Event
+        # whose callbacks should run, or a bare callable.
+        self._queue: List[Tuple[float, int, Any]] = []
+        self._live_processes: int = 0
+        self._running = False
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event (trigger it with ``succeed``/``fail``)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+        daemon: bool = False,
+    ) -> Process:
+        """Start a new process driving ``generator``; returns the process
+        (itself an event that triggers when the generator finishes).
+
+        ``daemon=True`` marks server-loop processes (disk arms, listen
+        loops) that legitimately block forever: they are excluded from
+        deadlock detection when the event queue drains.
+        """
+        return Process(self, generator, name=name, daemon=daemon)
+
+    def all_of(self, events: List[Event]) -> AllOf:
+        """Event that succeeds when every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: List[Event]) -> AnyOf:
+        """Event that succeeds when the first event in ``events`` does."""
+        return AnyOf(self, events)
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+
+    def _schedule_call(self, fn: Callable[[], None], delay: float = 0.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, fn))
+
+    # -- main loop ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one queued entry, advancing the clock to it."""
+        when, _seq, payload = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - heap invariant
+            raise SimulationError("time went backwards")
+        self._now = when
+        if isinstance(payload, Event):
+            callbacks = payload.callbacks
+            payload.callbacks = None  # mark processed
+            if callbacks:
+                for cb in callbacks:
+                    cb(payload)
+            # A failed event nobody waited on is a programming error we
+            # surface rather than swallow (mirrors SimPy semantics).
+            if not payload.ok and not callbacks and not isinstance(payload, Process):
+                raise payload.value
+        else:
+            payload()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        Returns the final simulated time.  Raises :class:`DeadlockError`
+        if the queue empties while processes are still alive (every
+        process is blocked on an event nothing will trigger).
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                when = self._queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return self._now
+                self.step()
+            if self._live_processes > 0:
+                raise DeadlockError(
+                    f"{self._live_processes} live process(es) blocked forever "
+                    "with an empty event queue"
+                )
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def run_process(self, generator: Generator[Event, Any, Any]) -> Any:
+        """Convenience: start ``generator`` as a process, run to completion,
+        and return the generator's return value (re-raising its error)."""
+        proc = self.process(generator)
+        self.run()
+        if not proc.triggered:  # pragma: no cover - defensive
+            raise SimulationError("process did not finish")
+        if not proc.ok:
+            raise proc.value
+        return proc.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine now={self._now:.6g} queued={len(self._queue)}>"

@@ -1,0 +1,125 @@
+"""Event probes: structured, timestamped instrumentation.
+
+A :class:`Probe` collects ``(time, category, message, fields)``
+entries from instrumented components (disk, buffer cache, file
+system).  Probes are opt-in and cost nothing when absent — components
+hold a :class:`NullProbe` by default whose ``record`` is a no-op.
+
+Usage::
+
+    probe = Probe(engine, categories={"disk", "cache"})
+    disk = Disk(engine, probe=probe)
+    ...
+    print(probe.render(limit=50))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+__all__ = ["ProbeEntry", "Probe", "NullProbe", "NULL_PROBE"]
+
+
+@dataclass(frozen=True)
+class ProbeEntry:
+    """One instrumentation event."""
+
+    time: float
+    category: str
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:14.9f}] {self.category:8s} {self.message}" + (
+            f" ({extra})" if extra else ""
+        )
+
+
+class NullProbe:
+    """Instrumentation sink that discards everything (the default)."""
+
+    __slots__ = ()
+    enabled = False
+
+    def record(self, category: str, message: str, **fields: Any) -> None:
+        """No-op."""
+
+    def wants(self, category: str) -> bool:
+        return False
+
+
+#: Shared do-nothing instance; safe because NullProbe is stateless.
+NULL_PROBE = NullProbe()
+
+
+class Probe:
+    """Recording probe with optional category filtering and a cap.
+
+    Parameters
+    ----------
+    engine:
+        Supplies timestamps.
+    categories:
+        If given, only these categories are recorded.
+    capacity:
+        Maximum retained entries (oldest dropped beyond it); None =
+        unbounded.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        engine: "Engine",
+        categories: Optional[Iterable[str]] = None,
+        capacity: Optional[int] = 100_000,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1 or None, got {capacity}")
+        self.engine = engine
+        self.categories: Optional[Set[str]] = (
+            set(categories) if categories is not None else None
+        )
+        self.capacity = capacity
+        self.entries: List[ProbeEntry] = []
+        self.dropped = 0
+
+    def wants(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def record(self, category: str, message: str, **fields: Any) -> None:
+        """Append one entry (filtered by category, capped by capacity)."""
+        if not self.wants(category):
+            return
+        if self.capacity is not None and len(self.entries) >= self.capacity:
+            self.entries.pop(0)
+            self.dropped += 1
+        self.entries.append(
+            ProbeEntry(self.engine.now, category, message, dict(fields))
+        )
+
+    def by_category(self, category: str) -> List[ProbeEntry]:
+        return [e for e in self.entries if e.category == category]
+
+    def between(self, start: float, end: float) -> List[ProbeEntry]:
+        """Entries with ``start <= time < end``."""
+        return [e for e in self.entries if start <= e.time < end]
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.dropped = 0
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable log (most recent ``limit`` entries)."""
+        items = self.entries if limit is None else self.entries[-limit:]
+        return "\n".join(e.render() for e in items)
+
+    def __len__(self) -> int:
+        return len(self.entries)

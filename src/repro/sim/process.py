@@ -1,0 +1,112 @@
+"""Processes: generator coroutines driven by the event engine.
+
+A process wraps a Python generator.  Each value the generator yields
+must be an :class:`~repro.sim.event.Event`; the process suspends until
+that event is processed, then resumes with the event's value (or with
+the event's exception thrown into the generator).  The process itself
+is an event that triggers when the generator returns (value = the
+``StopIteration`` value) or raises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.event import Event, PENDING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    Created via :meth:`Engine.process`; do not instantiate directly
+    except in tests.
+    """
+
+    __slots__ = ("generator", "name", "daemon", "_waiting_on")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+        daemon: bool = False,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Engine.process() needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(engine)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        # Daemon processes (e.g. a disk's server loop) may block forever
+        # without tripping deadlock detection when the queue drains.
+        self.daemon = daemon
+        self._waiting_on: Optional[Event] = None
+        if not daemon:
+            engine._live_processes += 1
+        # Kick off at the current time.
+        engine._schedule_call(self._resume_first)
+
+    # -- driving ----------------------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    def _resume_first(self) -> None:
+        self._step(None, None)
+
+    def _on_event(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, None)
+        else:
+            self._step(None, event.value)
+
+    def _retire(self) -> None:
+        """Bookkeeping when the generator finishes for any reason."""
+        if not self.daemon:
+            self.engine._live_processes -= 1
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if not self.is_alive:  # pragma: no cover - defensive
+            return
+        try:
+            if exc is None:
+                target = self.generator.send(value)
+            else:
+                target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._retire()
+            self.succeed(stop.value)
+            return
+        except BaseException as error:
+            self._retire()
+            self.fail(error)
+            return
+
+        if not isinstance(target, Event):
+            self._retire()
+            bad = SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes must yield Event instances"
+            )
+            self.fail(bad)
+            return
+        if target.engine is not self.engine:
+            self._retire()
+            self.fail(SimulationError("yielded an event from a different engine"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.is_alive else ("ok" if self._ok else "failed")
+        return f"<Process {self.name} {state}>"

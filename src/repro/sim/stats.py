@@ -1,0 +1,200 @@
+"""Statistics collectors used across the simulation.
+
+All collectors are cheap to update on the hot path (O(1) appends or
+integer adds); aggregate queries (percentiles, means) vectorize with
+NumPy only when asked.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Engine
+
+__all__ = ["Counter", "Tally", "TimeWeighted", "Histogram"]
+
+
+class Counter:
+    """Monotonic named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "counter") -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        """Increment by ``n`` (must be non-negative)."""
+        if n < 0:
+            raise SimulationError(f"Counter.add of negative {n}")
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Tally:
+    """Accumulates individual observations (e.g. per-request latencies)."""
+
+    def __init__(self, name: str = "tally") -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self._values.append(float(value))
+
+    def extend(self, values: Sequence[float]) -> None:
+        """Add many observations."""
+        self._values.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> List[float]:
+        """The raw observations (copy — safe to mutate)."""
+        return list(self._values)
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._values))
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            raise SimulationError(f"Tally {self.name!r}: mean of no observations")
+        return self.total / len(self._values)
+
+    @property
+    def minimum(self) -> float:
+        if not self._values:
+            raise SimulationError(f"Tally {self.name!r}: min of no observations")
+        return min(self._values)
+
+    @property
+    def maximum(self) -> float:
+        if not self._values:
+            raise SimulationError(f"Tally {self.name!r}: max of no observations")
+        return max(self._values)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        if not self._values:
+            raise SimulationError(f"Tally {self.name!r}: std of no observations")
+        return float(np.std(self.as_array()))
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile, ``q`` in [0, 100]."""
+        if not self._values:
+            raise SimulationError(f"Tally {self.name!r}: percentile of no observations")
+        return float(np.percentile(self.as_array(), q))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if not self._values:
+            return f"<Tally {self.name} empty>"
+        return f"<Tally {self.name} n={self.count} mean={self.mean:.4g}>"
+
+
+class TimeWeighted:
+    """A piecewise-constant signal integrated over simulated time.
+
+    Used for utilization and queue-length tracking: ``record(v)`` marks
+    that the signal takes value ``v`` from *now* on; ``mean()`` is the
+    time-weighted average since creation.
+    """
+
+    def __init__(self, engine: "Engine", initial: float = 0.0) -> None:
+        self.engine = engine
+        self._start = engine.now
+        self._last_time = engine.now
+        self._last_value = float(initial)
+        self._area = 0.0
+        self._max = float(initial)
+
+    def record(self, value: float) -> None:
+        """The signal becomes ``value`` at the current simulated time."""
+        now = self.engine.now
+        self._area += self._last_value * (now - self._last_time)
+        self._last_time = now
+        self._last_value = float(value)
+        if value > self._max:
+            self._max = float(value)
+
+    @property
+    def current(self) -> float:
+        return self._last_value
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    def mean(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean over [start, until] (default: now)."""
+        end = self.engine.now if until is None else until
+        span = end - self._start
+        if span <= 0:
+            return self._last_value
+        area = self._area + self._last_value * (end - self._last_time)
+        return area / span
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<TimeWeighted current={self._last_value:g} mean={self.mean():.4g}>"
+
+
+class Histogram:
+    """Fixed-width binned histogram with under/overflow buckets."""
+
+    def __init__(self, low: float, high: float, bins: int, name: str = "hist") -> None:
+        if bins < 1:
+            raise SimulationError(f"bins must be >= 1, got {bins}")
+        if not (high > low):
+            raise SimulationError(f"need high > low, got [{low}, {high}]")
+        self.name = name
+        self.low = float(low)
+        self.high = float(high)
+        self.bins = bins
+        self._width = (high - low) / bins
+        self.counts = np.zeros(bins, dtype=np.int64)
+        self.underflow = 0
+        self.overflow = 0
+        self._n = 0
+
+    def record(self, value: float) -> None:
+        """Add one observation to the appropriate bin."""
+        self._n += 1
+        if value < self.low:
+            self.underflow += 1
+        elif value >= self.high:
+            self.overflow += 1
+        else:
+            idx = int((value - self.low) / self._width)
+            # Guard against float edge landing exactly on `high`.
+            self.counts[min(idx, self.bins - 1)] += 1
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    def bin_edges(self) -> np.ndarray:
+        return np.linspace(self.low, self.high, self.bins + 1)
+
+    def mode_bin(self) -> int:
+        """Index of the most populated in-range bin."""
+        if self.counts.sum() == 0:
+            raise SimulationError(f"Histogram {self.name!r}: empty")
+        return int(np.argmax(self.counts))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Histogram {self.name} n={self._n} [{self.low:g},{self.high:g})x{self.bins}>"

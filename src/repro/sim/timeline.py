@@ -1,0 +1,78 @@
+"""ASCII activity timelines from probe entries.
+
+Buckets probe events over simulated time and renders one density row
+per category — a quick visual answer to "what was the disk doing while
+the server was slow?".
+
+::
+
+    probe = Probe(engine)
+    ... run ...
+    print(render_timeline(probe, buckets=60))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.probe import Probe, ProbeEntry
+
+__all__ = ["bucket_counts", "render_timeline"]
+
+#: Density ramp: blank → light → heavy.
+_RAMP = " .:-=+*#%@"
+
+
+def bucket_counts(
+    entries: Sequence[ProbeEntry],
+    buckets: int,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> "tuple[Dict[str, List[int]], float, float]":
+    """Histogram entries per (category, bucket).
+
+    Returns ``(counts, start, end)``; bounds default to the entries'
+    time span.
+    """
+    if buckets < 1:
+        raise SimulationError(f"buckets must be >= 1, got {buckets}")
+    if not entries:
+        raise SimulationError("no probe entries to bucket")
+    lo = min(e.time for e in entries) if start is None else start
+    hi = max(e.time for e in entries) if end is None else end
+    if hi <= lo:
+        hi = lo + 1e-12
+    width = (hi - lo) / buckets
+    counts: Dict[str, List[int]] = {}
+    for entry in entries:
+        if not (lo <= entry.time <= hi):
+            continue
+        idx = min(buckets - 1, int((entry.time - lo) / width))
+        row = counts.get(entry.category)
+        if row is None:
+            row = [0] * buckets
+            counts[entry.category] = row
+        row[idx] += 1
+    return counts, lo, hi
+
+
+def render_timeline(
+    probe: Probe,
+    buckets: int = 60,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+) -> str:
+    """One density row per category, aligned over a shared time axis."""
+    counts, lo, hi = bucket_counts(probe.entries, buckets, start, end)
+    peak = max((max(row) for row in counts.values()), default=0)
+    lines = [f"timeline: {lo:.6g}s .. {hi:.6g}s ({buckets} buckets, peak {peak}/bucket)"]
+    label_width = max((len(c) for c in counts), default=0)
+    for category in sorted(counts):
+        row = counts[category]
+        cells = "".join(
+            _RAMP[min(len(_RAMP) - 1, (n * (len(_RAMP) - 1)) // peak)] if peak else " "
+            for n in row
+        )
+        lines.append(f"{category.rjust(label_width)} |{cells}|")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Storage substrate: mechanical disks, request scheduling, striping.
+
+This layer models the *device* side of the I/O path the paper's
+benchmarks exercise.  The layer above (:mod:`repro.io`) adds the file
+system and the buffer cache; this layer only knows about block
+requests.
+
+Components
+----------
+* :class:`DiskGeometry` — cylinders/heads/sectors and LBA mapping.
+* :class:`DiskParams` / :class:`Disk` — a mechanical disk with seek,
+  rotation and transfer costs, served by a pluggable scheduler.
+* Schedulers — FCFS, SSTF, SCAN, C-SCAN, C-LOOK (the ablation study in
+  DESIGN.md §6 compares them).
+* :class:`StripedArray` — RAID-0 over N disks, used by the Figure 4
+  disk-scaling experiment.
+"""
+
+from repro.storage.request import IORequest
+from repro.storage.geometry import DiskGeometry
+from repro.storage.scheduler import (
+    FCFSScheduler,
+    SSTFScheduler,
+    ScanScheduler,
+    CScanScheduler,
+    CLookScheduler,
+    make_scheduler,
+    SCHEDULERS,
+)
+from repro.storage.disk import Disk, DiskParams
+from repro.storage.raid import StripedArray
+
+__all__ = [
+    "IORequest",
+    "DiskGeometry",
+    "DiskParams",
+    "Disk",
+    "FCFSScheduler",
+    "SSTFScheduler",
+    "ScanScheduler",
+    "CScanScheduler",
+    "CLookScheduler",
+    "make_scheduler",
+    "SCHEDULERS",
+    "StripedArray",
+]

@@ -1,0 +1,118 @@
+"""RAID-0 striping across N disks.
+
+Used by the Figure 4 experiment (QCRD speedup vs number of disks): the
+behavioral-model executor points its I/O bursts at a
+:class:`StripedArray` and varies the disk count.
+
+The address map is the standard RAID-0 layout: logical blocks are
+grouped into stripe units of ``stripe_unit`` blocks; consecutive units
+rotate round-robin across member disks.  A logical request splits into
+at most one contiguous physical request per (disk, stripe-unit run)
+and completes when every fragment has.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import DiskError
+from repro.sim import Engine
+from repro.sim.event import Event
+from repro.storage.disk import Disk
+from repro.storage.request import IORequest
+
+__all__ = ["StripedArray"]
+
+
+class StripedArray:
+    """RAID-0 over homogeneous member disks.
+
+    Exposes the same device interface as :class:`Disk` (``block_size``,
+    ``total_blocks``, ``submit_range``) so the file-system layer can
+    mount either interchangeably.
+    """
+
+    def __init__(self, engine: Engine, disks: Sequence[Disk], stripe_unit: int = 128) -> None:
+        if not disks:
+            raise DiskError("StripedArray needs at least one disk")
+        if stripe_unit < 1:
+            raise DiskError(f"stripe unit must be >= 1 block, got {stripe_unit}")
+        block_sizes = {d.block_size for d in disks}
+        if len(block_sizes) != 1:
+            raise DiskError("member disks must share a block size")
+        sizes = {d.total_blocks for d in disks}
+        if len(sizes) != 1:
+            raise DiskError("member disks must share a capacity")
+        self.engine = engine
+        self.disks: List[Disk] = list(disks)
+        self.stripe_unit = stripe_unit
+
+    # -- device interface ----------------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        return self.disks[0].block_size
+
+    @property
+    def total_blocks(self) -> int:
+        return self.disks[0].total_blocks * len(self.disks)
+
+    def map_block(self, logical_block: int) -> Tuple[int, int]:
+        """Map a logical block to ``(disk_index, physical_block)``."""
+        if not (0 <= logical_block < self.total_blocks):
+            raise DiskError(f"logical block {logical_block} out of range")
+        unit_index, offset = divmod(logical_block, self.stripe_unit)
+        ndisks = len(self.disks)
+        disk_index = unit_index % ndisks
+        physical_unit = unit_index // ndisks
+        return disk_index, physical_unit * self.stripe_unit + offset
+
+    def split(self, lba: int, nblocks: int) -> List[Tuple[int, int, int]]:
+        """Split a logical range into ``(disk_index, physical_lba, nblocks)``
+        fragments, each contiguous on its member disk."""
+        if nblocks < 1:
+            raise DiskError(f"nblocks must be >= 1, got {nblocks}")
+        if lba < 0 or lba + nblocks > self.total_blocks:
+            raise DiskError(f"range [{lba}, {lba + nblocks}) out of array bounds")
+        fragments: List[Tuple[int, int, int]] = []
+        block = lba
+        remaining = nblocks
+        while remaining > 0:
+            disk_index, phys = self.map_block(block)
+            # Run length within the current stripe unit.
+            unit_remaining = self.stripe_unit - (block % self.stripe_unit)
+            run = min(remaining, unit_remaining)
+            # Merge with previous fragment when it continues on the same disk.
+            if fragments and fragments[-1][0] == disk_index and (
+                fragments[-1][1] + fragments[-1][2] == phys
+            ):
+                disk, start, length = fragments[-1]
+                fragments[-1] = (disk, start, length + run)
+            else:
+                fragments.append((disk_index, phys, run))
+            block += run
+            remaining -= run
+        return fragments
+
+    def submit_range(self, lba: int, nblocks: int, is_write: bool = False) -> Event:
+        """Submit a logical range; the event succeeds with the list of
+        completed member :class:`IORequest` objects once all land."""
+        fragments = self.split(lba, nblocks)
+        events = [
+            self.disks[disk].submit(IORequest(lba=phys, nblocks=run, is_write=is_write))
+            for disk, phys, run in fragments
+        ]
+        done = self.engine.event()
+        gather = self.engine.all_of(events)
+
+        def _finish(ev: Event) -> None:
+            if ev.ok:
+                done.succeed([e.value for e in events])
+            else:
+                done.fail(ev.value)
+
+        gather.add_callback(_finish)
+        return done
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StripedArray disks={len(self.disks)} unit={self.stripe_unit}>"

@@ -1,0 +1,64 @@
+"""Trace-driven I/O benchmark (paper §3).
+
+The benchmark replays I/O traces of five applications against a large
+file "on a local disk", timing each open/close/read/write/seek.  The
+original University of Maryland traces (CS-TR-3802) are not publicly
+archived, so :mod:`repro.traces.generator` synthesizes traces with the
+access patterns the paper describes and the exact request sizes its
+tables print.
+
+* :mod:`repro.traces.ops` / :mod:`repro.traces.format` — the trace
+  file layout of §3.2 (header: process/file/record counts, offset to
+  records, sample file; records: op ∈ {Open=0, Close=1, Read=2,
+  Write=3, Seek=4}, counts, pid, field, clocks, offset, length).
+* :mod:`repro.traces.reader` / :mod:`repro.traces.writer` — binary
+  (de)serialization.
+* :mod:`repro.traces.replay` — replays a trace through the CLI VM:
+  the dispatch loop is a CIL method, so JIT and interpreter costs are
+  on the measured path exactly as on the SSCLI.
+* :mod:`repro.traces.timing` — per-operation statistics in the
+  paper's milliseconds.
+"""
+
+from repro.traces.ops import IOOp, TraceHeader, TraceRecord
+from repro.traces.format import TRACE_MAGIC, TRACE_VERSION
+from repro.traces.reader import iter_trace, read_trace
+from repro.traces.writer import write_trace
+from repro.traces.timing import OpStats, OpTimings
+from repro.traces.analysis import TraceSummary, summarize
+from repro.traces.replay import RecordTiming, ReplayConfig, ReplayResult, TraceReplayer
+from repro.traces.generator import (
+    APPLICATIONS,
+    generate_cholesky,
+    generate_dmine,
+    generate_lu,
+    generate_pgrep,
+    generate_titan,
+    generate_trace,
+)
+
+__all__ = [
+    "IOOp",
+    "TraceHeader",
+    "TraceRecord",
+    "TRACE_MAGIC",
+    "TRACE_VERSION",
+    "read_trace",
+    "iter_trace",
+    "write_trace",
+    "OpStats",
+    "OpTimings",
+    "TraceSummary",
+    "summarize",
+    "ReplayConfig",
+    "ReplayResult",
+    "RecordTiming",
+    "TraceReplayer",
+    "APPLICATIONS",
+    "generate_trace",
+    "generate_dmine",
+    "generate_pgrep",
+    "generate_lu",
+    "generate_titan",
+    "generate_cholesky",
+]

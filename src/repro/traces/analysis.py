@@ -1,0 +1,106 @@
+"""Trace characterization.
+
+Summarizes a record stream the way an I/O-workload study would (the
+paper's UMD source, CS-TR-3802, is exactly such a characterization):
+operation mix, bytes moved, request-size distribution, sequentiality,
+and data reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import TraceError
+from repro.traces.ops import IOOp, TraceRecord
+
+__all__ = ["TraceSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Aggregate characterization of one trace."""
+
+    record_count: int
+    op_counts: Dict[IOOp, int]
+    bytes_read: int
+    bytes_written: int
+    unique_bytes: int
+    sequential_reads: int
+    read_count: int
+    min_request: int
+    max_request: int
+    processes: int
+
+    @property
+    def sequentiality(self) -> float:
+        """Fraction of reads that continue exactly where the previous
+        read by the same process ended."""
+        return self.sequential_reads / self.read_count if self.read_count else 0.0
+
+    @property
+    def reuse_factor(self) -> float:
+        """Bytes transferred per unique byte touched (>= 1 means
+        re-reading; < 1 impossible)."""
+        moved = self.bytes_read + self.bytes_written
+        return moved / self.unique_bytes if self.unique_bytes else 0.0
+
+
+def _merge_intervals(intervals: List[Tuple[int, int]]) -> int:
+    """Total length covered by a set of [start, end) intervals."""
+    if not intervals:
+        return 0
+    intervals.sort()
+    covered = 0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            covered += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    covered += cur_end - cur_start
+    return covered
+
+
+def summarize(records: Sequence[TraceRecord]) -> TraceSummary:
+    """Characterize ``records`` (any iterable of trace records)."""
+    if not records:
+        raise TraceError("cannot summarize an empty trace")
+    op_counts: Dict[IOOp, int] = {op: 0 for op in IOOp}
+    bytes_read = bytes_written = 0
+    intervals: List[Tuple[int, int]] = []
+    sequential = 0
+    read_count = 0
+    sizes: List[int] = []
+    last_read_end: Dict[int, int] = {}
+    pids = set()
+
+    for r in records:
+        op_counts[r.op] += 1
+        pids.add(r.pid)
+        if r.op is IOOp.READ:
+            read_count += 1
+            bytes_read += r.length
+            sizes.append(r.length)
+            intervals.append((r.offset, r.offset + r.length))
+            if last_read_end.get(r.pid) == r.offset:
+                sequential += 1
+            last_read_end[r.pid] = r.offset + r.length
+        elif r.op is IOOp.WRITE:
+            bytes_written += r.length
+            sizes.append(r.length)
+            intervals.append((r.offset, r.offset + r.length))
+
+    return TraceSummary(
+        record_count=len(records),
+        op_counts=op_counts,
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        unique_bytes=_merge_intervals(intervals),
+        sequential_reads=sequential,
+        read_count=read_count,
+        min_request=min(sizes) if sizes else 0,
+        max_request=max(sizes) if sizes else 0,
+        processes=len(pids),
+    )

@@ -1,0 +1,121 @@
+"""Binary layout of trace files.
+
+Layout (little-endian)::
+
+    magic    4 bytes   b"UMDT"
+    version  u16
+    header   num_processes u32, num_files u32, num_records u64,
+             records_offset u64,
+             sample_file: u16 length + UTF-8 bytes
+    padding  zeros up to records_offset
+    records  num_records × RECORD_STRUCT
+
+The header's ``records_offset`` is stored explicitly (the paper lists
+"offset to the Trace records" as a header field), so readers seek to
+it rather than assuming the header size.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import TraceFormatError
+from repro.traces.ops import IOOp, TraceHeader, TraceRecord
+
+__all__ = [
+    "TRACE_MAGIC",
+    "TRACE_VERSION",
+    "RECORD_STRUCT",
+    "pack_header",
+    "unpack_header",
+    "pack_record",
+    "unpack_record",
+]
+
+TRACE_MAGIC = b"UMDT"
+TRACE_VERSION = 1
+
+_FIXED_HEADER = struct.Struct("<4sHIIQQH")  # magic, ver, procs, files, nrec, off, namelen
+#: op u8, num_records u32, pid u32, field u32, wall f64, proc f64, offset u64, length u64
+RECORD_STRUCT = struct.Struct("<BIIIddQQ")
+
+
+def pack_header(header: TraceHeader) -> bytes:
+    """Serialize a header (records_offset must already account for the
+    encoded header length; :func:`repro.traces.writer.write_trace`
+    computes it)."""
+    name = header.sample_file.encode("utf-8")
+    if len(name) > 0xFFFF:
+        raise TraceFormatError("sample file name too long")
+    fixed = _FIXED_HEADER.pack(
+        TRACE_MAGIC,
+        TRACE_VERSION,
+        header.num_processes,
+        header.num_files,
+        header.num_records,
+        header.records_offset,
+        len(name),
+    )
+    return fixed + name
+
+
+def header_size(sample_file: str) -> int:
+    """Encoded byte length of a header naming ``sample_file``."""
+    return _FIXED_HEADER.size + len(sample_file.encode("utf-8"))
+
+
+def unpack_header(data: bytes) -> TraceHeader:
+    """Parse a header from the start of ``data``."""
+    if len(data) < _FIXED_HEADER.size:
+        raise TraceFormatError("truncated trace header")
+    magic, version, procs, files, nrec, offset, namelen = _FIXED_HEADER.unpack_from(data)
+    if magic != TRACE_MAGIC:
+        raise TraceFormatError(f"bad magic {magic!r} (not a UMD trace file)")
+    if version != TRACE_VERSION:
+        raise TraceFormatError(f"unsupported trace version {version}")
+    end = _FIXED_HEADER.size + namelen
+    if len(data) < end:
+        raise TraceFormatError("truncated sample-file name in header")
+    name = data[_FIXED_HEADER.size:end].decode("utf-8")
+    return TraceHeader(
+        num_processes=procs,
+        num_files=files,
+        num_records=nrec,
+        records_offset=offset,
+        sample_file=name,
+    )
+
+
+def pack_record(record: TraceRecord) -> bytes:
+    return RECORD_STRUCT.pack(
+        int(record.op),
+        record.num_records,
+        record.pid,
+        record.field,
+        record.wall_clock,
+        record.process_clock,
+        record.offset,
+        record.length,
+    )
+
+
+def unpack_record(data: bytes, offset: int = 0) -> TraceRecord:
+    if len(data) - offset < RECORD_STRUCT.size:
+        raise TraceFormatError("truncated trace record")
+    op, nrec, pid, fieldv, wall, proc, off, length = RECORD_STRUCT.unpack_from(
+        data, offset
+    )
+    try:
+        op_enum = IOOp(op)
+    except ValueError:
+        raise TraceFormatError(f"invalid op code {op}") from None
+    return TraceRecord(
+        op=op_enum,
+        num_records=nrec,
+        pid=pid,
+        field=fieldv,
+        wall_clock=wall,
+        process_clock=proc,
+        offset=off,
+        length=length,
+    )

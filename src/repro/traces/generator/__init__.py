@@ -1,0 +1,58 @@
+"""Synthetic trace generators for the five paper applications.
+
+Each generator returns ``(TraceHeader, [TraceRecord])`` following the
+access pattern the paper (and its cited sources) describe, with the
+request sizes the paper's tables print where they are given:
+
+* :func:`generate_dmine` — association-rule mining: repeated
+  sequential passes of 131072-byte reads over a retail dataset
+  (Table 1's data size).
+* :func:`generate_pgrep` — parallel approximate text search: several
+  processes each streaming through a partition of the file.
+* :func:`generate_lu` — out-of-core dense LU: panel-sized seeks at
+  the exact Table 3 offsets, with reads and write-backs.
+* :func:`generate_titan` — remote-sensing database: spatial queries
+  reading ~187681-byte blocks (Table 2's data size).
+* :func:`generate_cholesky` — sparse Cholesky: the 16 Table 4 request
+  sizes, mixing revisits (cache-friendly) with frontier jumps.
+"""
+
+from repro.traces.generator.dmine import generate_dmine
+from repro.traces.generator.pgrep import generate_pgrep
+from repro.traces.generator.lu import generate_lu, LU_SEEK_OFFSETS
+from repro.traces.generator.titan import generate_titan
+from repro.traces.generator.cholesky import generate_cholesky, CHOLESKY_REQUEST_SIZES
+
+from repro.errors import TraceError
+
+#: name → generator, for CLI-style dispatch.
+APPLICATIONS = {
+    "dmine": generate_dmine,
+    "pgrep": generate_pgrep,
+    "lu": generate_lu,
+    "titan": generate_titan,
+    "cholesky": generate_cholesky,
+}
+
+__all__ = [
+    "APPLICATIONS",
+    "generate_trace",
+    "generate_dmine",
+    "generate_pgrep",
+    "generate_lu",
+    "generate_titan",
+    "generate_cholesky",
+    "LU_SEEK_OFFSETS",
+    "CHOLESKY_REQUEST_SIZES",
+]
+
+
+def generate_trace(name: str, **kwargs):
+    """Generate by application name (see :data:`APPLICATIONS`)."""
+    try:
+        gen = APPLICATIONS[name.lower()]
+    except KeyError:
+        raise TraceError(
+            f"unknown application {name!r}; choices: {sorted(APPLICATIONS)}"
+        ) from None
+    return gen(**kwargs)

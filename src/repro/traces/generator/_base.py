@@ -1,0 +1,68 @@
+"""Shared helpers for the trace generators."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.traces.ops import IOOp, TraceHeader, TraceRecord
+
+__all__ = ["TraceBuilder", "DEFAULT_SAMPLE_FILE", "DEFAULT_FILE_SIZE"]
+
+DEFAULT_SAMPLE_FILE = "/data/sample.dat"
+#: The paper issues operations against "a large file containing 1GB of data".
+DEFAULT_FILE_SIZE = 1 * 1024 * 1024 * 1024
+
+
+class TraceBuilder:
+    """Accumulates records with monotonically advancing clocks."""
+
+    def __init__(self, num_processes: int = 1, sample_file: str = DEFAULT_SAMPLE_FILE) -> None:
+        self.num_processes = num_processes
+        self.sample_file = sample_file
+        self.records: List[TraceRecord] = []
+        self._wall = 0.0
+        self._proc = [0.0] * num_processes
+
+    def _emit(self, op: IOOp, pid: int, offset: int = 0, length: int = 0,
+              field: int = 0, gap: float = 1e-4) -> None:
+        self._wall += gap
+        self._proc[pid] += gap
+        self.records.append(
+            TraceRecord(
+                op=op,
+                num_records=1,
+                pid=pid,
+                field=field,
+                wall_clock=self._wall,
+                process_clock=self._proc[pid],
+                offset=offset,
+                length=length,
+            )
+        )
+
+    def open(self, pid: int = 0, gap: float = 1e-4) -> None:
+        self._emit(IOOp.OPEN, pid, gap=gap)
+
+    def close(self, pid: int = 0, gap: float = 1e-4) -> None:
+        self._emit(IOOp.CLOSE, pid, gap=gap)
+
+    def read(self, offset: int, length: int, pid: int = 0, field: int = 0,
+             gap: float = 1e-4) -> None:
+        self._emit(IOOp.READ, pid, offset, length, field, gap)
+
+    def write(self, offset: int, length: int, pid: int = 0, field: int = 0,
+              gap: float = 1e-4) -> None:
+        self._emit(IOOp.WRITE, pid, offset, length, field, gap)
+
+    def seek(self, offset: int, pid: int = 0, gap: float = 1e-4) -> None:
+        self._emit(IOOp.SEEK, pid, offset, gap=gap)
+
+    def build(self) -> "tuple[TraceHeader, List[TraceRecord]]":
+        header = TraceHeader(
+            num_processes=self.num_processes,
+            num_files=1,
+            num_records=len(self.records),
+            records_offset=0,  # recomputed by write_trace
+            sample_file=self.sample_file,
+        )
+        return header, self.records

@@ -1,0 +1,51 @@
+"""Parallel text search (Pgrep) trace: a parallel version of agrep
+(Wu & Manber, the paper's [11]) for partial-match and approximate
+searches.
+
+Access pattern: ``num_processes`` workers each stream sequentially
+through their own partition of the file in ``read_size`` chunks —
+embarrassingly parallel scan, one open/close per worker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import TraceError
+from repro.traces.generator._base import DEFAULT_SAMPLE_FILE, TraceBuilder
+from repro.traces.ops import TraceHeader, TraceRecord
+
+__all__ = ["generate_pgrep"]
+
+
+def generate_pgrep(
+    file_size: int = 64 * 1024 * 1024,
+    num_processes: int = 4,
+    read_size: int = 65536,
+    sample_file: str = DEFAULT_SAMPLE_FILE,
+) -> Tuple[TraceHeader, List[TraceRecord]]:
+    """Generate the Pgrep trace.
+
+    Workers interleave in the record stream (round-robin by chunk
+    index), as a timestamp-ordered merged trace of concurrent
+    processes would."""
+    if num_processes < 1:
+        raise TraceError(f"num_processes must be >= 1, got {num_processes}")
+    if read_size < 1 or file_size < num_processes * read_size:
+        raise TraceError("file too small for the partitioning")
+    b = TraceBuilder(num_processes=num_processes, sample_file=sample_file)
+    partition = file_size // num_processes
+    chunks = partition // read_size
+    for pid in range(num_processes):
+        b.open(pid=pid)
+        b.seek(pid * partition, pid=pid)
+    for i in range(chunks):
+        for pid in range(num_processes):
+            b.read(
+                offset=pid * partition + i * read_size,
+                length=read_size,
+                pid=pid,
+            )
+    for pid in range(num_processes):
+        b.close(pid=pid)
+    return b.build()

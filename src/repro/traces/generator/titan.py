@@ -1,0 +1,51 @@
+"""Titan trace: a parallel scientific database for remote-sensing data
+(Chang et al., the paper's [3]).
+
+Access pattern: spatial range queries fetch coarse-grained chunks of
+satellite imagery; Table 2 reports synchronous reads of 187681 bytes.
+Queries exhibit spatial locality — consecutive reads usually touch
+adjacent chunks, with occasional jumps to a new query region.  The
+jump sequence is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import TraceError
+from repro.rng import SeededStreams
+from repro.traces.generator._base import DEFAULT_SAMPLE_FILE, TraceBuilder
+from repro.traces.ops import TraceHeader, TraceRecord
+
+__all__ = ["generate_titan", "TITAN_READ_SIZE"]
+
+#: Table 2's "Data size (Bytes)".
+TITAN_READ_SIZE = 187681
+
+
+def generate_titan(
+    region_size: int = 48 * 1024 * 1024,
+    num_queries: int = 12,
+    reads_per_query: int = 16,
+    read_size: int = TITAN_READ_SIZE,
+    seed: int = 0,
+    sample_file: str = DEFAULT_SAMPLE_FILE,
+) -> Tuple[TraceHeader, List[TraceRecord]]:
+    """Generate the Titan trace: ``num_queries`` query regions, each
+    read as ``reads_per_query`` adjacent chunks."""
+    if region_size < read_size * reads_per_query:
+        raise TraceError("region too small for one query's reads")
+    if num_queries < 1 or reads_per_query < 1:
+        raise TraceError("need at least one query and one read per query")
+    rng = SeededStreams(seed).get("titan-queries")
+    b = TraceBuilder(num_processes=1, sample_file=sample_file)
+    b.open()
+    max_start = region_size - read_size * reads_per_query
+    for q in range(num_queries):
+        start = int(rng.integers(0, max_start + 1))
+        # Align to the chunk grid, as Titan's declustered layout would.
+        start -= start % read_size
+        for i in range(reads_per_query):
+            b.read(offset=start + i * read_size, length=read_size, field=q)
+    b.close()
+    return b.build()

@@ -1,0 +1,85 @@
+"""Trace record structures (paper §3.2)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import TraceError
+
+__all__ = ["IOOp", "TraceHeader", "TraceRecord"]
+
+
+class IOOp(enum.IntEnum):
+    """Operation codes, exactly as the paper assigns them:
+    "(Open =0, Close=1, Read=2, Write=3, Seek=4)"."""
+
+    OPEN = 0
+    CLOSE = 1
+    READ = 2
+    WRITE = 3
+    SEEK = 4
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Trace file header.
+
+    "The trace file header contains parameters for number of
+    processes, number of files, number of records, offset to the Trace
+    records and the sample file on which the I/O operations will be
+    issued."
+    """
+
+    num_processes: int
+    num_files: int
+    num_records: int
+    records_offset: int
+    sample_file: str
+
+    def __post_init__(self) -> None:
+        if self.num_processes < 1:
+            raise TraceError(f"num_processes must be >= 1, got {self.num_processes}")
+        if self.num_files < 1:
+            raise TraceError(f"num_files must be >= 1, got {self.num_files}")
+        if self.num_records < 0:
+            raise TraceError(f"negative num_records: {self.num_records}")
+        if self.records_offset < 0:
+            raise TraceError(f"negative records_offset: {self.records_offset}")
+        if not self.sample_file:
+            raise TraceError("sample_file must be non-empty")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace record.
+
+    "Each trace record contains parameters corresponding to the I/O
+    operation to be performed, number of records for which the I/O
+    operation need to be performed, process id, field, wall clock
+    time, process clock time, offset, length."
+    """
+
+    op: IOOp
+    num_records: int = 1
+    pid: int = 0
+    field: int = 0
+    wall_clock: float = 0.0
+    process_clock: float = 0.0
+    offset: int = 0
+    length: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.op, IOOp):
+            object.__setattr__(self, "op", IOOp(self.op))
+        if self.num_records < 1:
+            raise TraceError(f"num_records must be >= 1, got {self.num_records}")
+        if self.pid < 0:
+            raise TraceError(f"negative pid: {self.pid}")
+        if self.offset < 0:
+            raise TraceError(f"negative offset: {self.offset}")
+        if self.length < 0:
+            raise TraceError(f"negative length: {self.length}")
+        if self.wall_clock < 0 or self.process_clock < 0:
+            raise TraceError("clock values must be >= 0")

@@ -1,0 +1,55 @@
+"""Trace file reading."""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Iterator, List, Tuple, Union
+
+from repro.errors import TraceFormatError
+from repro.traces.format import RECORD_STRUCT, unpack_header, unpack_record
+from repro.traces.ops import TraceHeader, TraceRecord
+
+__all__ = ["read_trace", "iter_trace"]
+
+
+def _load(source: Union[str, os.PathLike, bytes, io.BufferedIOBase]) -> bytes:
+    if isinstance(source, bytes):
+        return source
+    if isinstance(source, (str, os.PathLike)):
+        with open(source, "rb") as fh:
+            return fh.read()
+    return source.read()
+
+
+def read_trace(
+    source: Union[str, os.PathLike, bytes, io.BufferedIOBase],
+) -> Tuple[TraceHeader, List[TraceRecord]]:
+    """Parse a whole trace file into (header, records)."""
+    return_header, records = None, []
+    data = _load(source)
+    return_header = unpack_header(data)
+    records = list(_iter_records(data, return_header))
+    return return_header, records
+
+
+def iter_trace(
+    source: Union[str, os.PathLike, bytes, io.BufferedIOBase],
+) -> Iterator[TraceRecord]:
+    """Stream records from a trace file (header validated first)."""
+    data = _load(source)
+    header = unpack_header(data)
+    yield from _iter_records(data, header)
+
+
+def _iter_records(data: bytes, header: TraceHeader) -> Iterator[TraceRecord]:
+    offset = header.records_offset
+    size = RECORD_STRUCT.size
+    end_needed = offset + header.num_records * size
+    if len(data) < end_needed:
+        raise TraceFormatError(
+            f"trace claims {header.num_records} records but file is short "
+            f"({len(data)} < {end_needed} bytes)"
+        )
+    for i in range(header.num_records):
+        yield unpack_record(data, offset + i * size)

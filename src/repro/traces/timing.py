@@ -1,0 +1,68 @@
+"""Per-operation timing aggregation in the paper's units (ms)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import TraceError
+from repro.sim import Tally
+from repro.traces.ops import IOOp
+from repro.units import to_ms
+
+__all__ = ["OpStats", "OpTimings"]
+
+
+@dataclass(frozen=True)
+class OpStats:
+    """Summary for one operation type, milliseconds throughout."""
+
+    op: IOOp
+    count: int
+    mean_ms: float
+    min_ms: float
+    max_ms: float
+    total_ms: float
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.op.name.lower():5s} n={self.count:5d} "
+            f"mean={self.mean_ms:.6f} ms [{self.min_ms:.6f}, {self.max_ms:.6f}]"
+        )
+
+
+class OpTimings:
+    """Collects per-record latencies and produces per-op summaries."""
+
+    def __init__(self) -> None:
+        self._tallies: Dict[IOOp, Tally] = {op: Tally(op.name) for op in IOOp}
+
+    def record(self, op: IOOp, seconds: float) -> None:
+        """Add one measured latency (simulated seconds)."""
+        if seconds < 0:
+            raise TraceError(f"negative latency: {seconds}")
+        self._tallies[IOOp(op)].record(seconds)
+
+    def count(self, op: IOOp) -> int:
+        return self._tallies[op].count
+
+    def mean_ms(self, op: IOOp) -> float:
+        return to_ms(self._tallies[op].mean)
+
+    def stats(self, op: IOOp) -> Optional[OpStats]:
+        """Summary for ``op``, or None if never observed."""
+        t = self._tallies[op]
+        if t.count == 0:
+            return None
+        return OpStats(
+            op=op,
+            count=t.count,
+            mean_ms=to_ms(t.mean),
+            min_ms=to_ms(t.minimum),
+            max_ms=to_ms(t.maximum),
+            total_ms=to_ms(t.total),
+        )
+
+    def all_stats(self) -> List[OpStats]:
+        """Summaries for every observed op, in op-code order."""
+        return [s for op in IOOp if (s := self.stats(op)) is not None]

@@ -1,0 +1,45 @@
+"""Trace file writing."""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import List, Sequence, Union
+
+from repro.errors import TraceError
+from repro.traces.format import header_size, pack_header, pack_record
+from repro.traces.ops import TraceHeader, TraceRecord
+
+__all__ = ["write_trace"]
+
+
+def write_trace(
+    target: Union[str, os.PathLike, io.BufferedIOBase],
+    header: TraceHeader,
+    records: Sequence[TraceRecord],
+) -> TraceHeader:
+    """Write a trace file; returns the header actually written.
+
+    The header's ``num_records`` and ``records_offset`` fields are
+    recomputed from the data so they can never disagree with the
+    record section (pass 0 for both when constructing the input).
+    """
+    if header.num_records not in (0, len(records)):
+        raise TraceError(
+            f"header says {header.num_records} records but {len(records)} given"
+        )
+    offset = header_size(header.sample_file)
+    actual = TraceHeader(
+        num_processes=header.num_processes,
+        num_files=header.num_files,
+        num_records=len(records),
+        records_offset=offset,
+        sample_file=header.sample_file,
+    )
+    payload = pack_header(actual) + b"".join(pack_record(r) for r in records)
+    if isinstance(target, (str, os.PathLike)):
+        with open(target, "wb") as fh:
+            fh.write(payload)
+    else:
+        target.write(payload)
+    return actual

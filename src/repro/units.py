@@ -1,0 +1,78 @@
+"""Unit constants and conversion helpers.
+
+Conventions used throughout the library:
+
+* **Simulated time** is a ``float`` in *seconds*.
+* **Data sizes** are ``int`` *bytes*.
+* The paper reports latencies in milliseconds; :func:`to_ms` converts.
+
+The constants are plain numbers (not a unit-checking type) to keep the
+hot simulation paths allocation-free.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KiB", "MiB", "GiB",
+    "KB", "MB", "GB",
+    "USEC", "MSEC", "SEC", "MINUTE",
+    "to_ms", "to_us", "from_ms",
+    "fmt_bytes", "fmt_time",
+]
+
+# Binary sizes (powers of two) -- used for page/block geometry.
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# Decimal sizes -- used for disk-vendor-style transfer rates.
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+# Time (expressed in seconds, the simulation base unit).
+USEC = 1e-6
+MSEC = 1e-3
+SEC = 1.0
+MINUTE = 60.0
+
+
+def to_ms(seconds: float) -> float:
+    """Convert simulated seconds to milliseconds (the paper's unit)."""
+    return seconds * 1e3
+
+
+def to_us(seconds: float) -> float:
+    """Convert simulated seconds to microseconds."""
+    return seconds * 1e6
+
+
+def from_ms(ms: float) -> float:
+    """Convert milliseconds to simulated seconds."""
+    return ms * 1e-3
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count, e.g. ``fmt_bytes(131072) == '128.0 KiB'``."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration with an auto-selected unit."""
+    if seconds == 0.0:
+        return "0 s"
+    a = abs(seconds)
+    if a < 1e-3:
+        return f"{seconds * 1e6:.3g} us"
+    if a < 1.0:
+        return f"{seconds * 1e3:.4g} ms"
+    if a < 120.0:
+        return f"{seconds:.4g} s"
+    return f"{seconds / 60.0:.4g} min"

@@ -1,0 +1,103 @@
+"""HTTP client side: issues GET/POST requests over the simulated LAN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import HttpError
+from repro.io import Network
+from repro.webserver.httpmsg import HttpRequest
+from repro.units import to_ms
+
+__all__ = ["ClientResult", "HttpClient"]
+
+
+@dataclass(frozen=True)
+class ClientResult:
+    """Client-observed outcome of one request."""
+
+    method: str
+    path: str
+    status: int
+    body_bytes: int
+    elapsed: float  # connect → full response received (seconds)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return to_ms(self.elapsed)
+
+
+def _parse_response_header(text: str) -> "tuple[int, int]":
+    """(status, content_length) from response header text."""
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise HttpError(500, f"malformed status line {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HttpError(500, f"bad status {parts[1]!r}") from None
+    length = 0
+    for line in lines[1:]:
+        if not line:
+            break
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    return status, length
+
+
+class HttpClient:
+    """A simple HTTP/1.0 client (one connection per request)."""
+
+    def __init__(self, network: Network, host: str = "localhost", port: int = 5050) -> None:
+        self.network = network
+        self.host = host
+        self.port = port
+
+    def request(self, req: HttpRequest):
+        """Generator: issue one request; returns a :class:`ClientResult`."""
+        engine = self.network.engine
+        t0 = engine.now
+        socket = yield from self.network.connect(self.host, self.port)
+        yield from socket.send(req.wire_bytes, payload=req.header_text())
+
+        header_text: Optional[str] = None
+        status = 0
+        expected = None
+        received = 0
+        while True:
+            got = yield from socket.receive(8192)
+            received += got
+            if header_text is None:
+                payloads = socket.take_payloads()
+                if payloads:
+                    header_text = payloads[0]
+                    status, content_length = _parse_response_header(header_text)
+                    expected = len(header_text) + content_length
+            if got == 0:
+                break
+            if expected is not None and received >= expected:
+                break
+        if header_text is None:
+            raise HttpError(500, "connection closed before response header")
+        yield from socket.close()
+        body = received - len(header_text)
+        return ClientResult(
+            method=req.method,
+            path=req.path,
+            status=status,
+            body_bytes=max(0, body),
+            elapsed=engine.now - t0,
+        )
+
+    def get(self, path: str):
+        """Generator: GET ``path``."""
+        result = yield from self.request(HttpRequest("GET", path))
+        return result
+
+    def post(self, path: str, nbytes: int):
+        """Generator: POST ``nbytes`` of data to ``path``."""
+        result = yield from self.request(HttpRequest("POST", path, body_bytes=nbytes))
+        return result

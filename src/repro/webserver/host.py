@@ -1,0 +1,117 @@
+"""One-stop environment: disk + file system + network + VM + server.
+
+The benchmarks and examples need the whole stack wired consistently;
+:class:`WebServerHost` owns that wiring and populates the document
+root.  The default file population is the paper's three image files
+(50607, 7501 and 14063 bytes, §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cli import CliRuntime
+from repro.cli.profiles import get_profile
+from repro.io import CacheParams, FileSystem, FsParams, Network
+from repro.sim import Engine
+from repro.storage import Disk, DiskGeometry, DiskParams
+from repro.webserver.client import HttpClient
+from repro.webserver.server import WebServer, WebServerConfig
+
+__all__ = ["HostConfig", "WebServerHost", "PAPER_IMAGE_FILES"]
+
+#: §4.2: "The sizes of each file are 50607 bytes, 7501 bytes, and
+#: 14063 bytes." (image files served by the benchmark)
+PAPER_IMAGE_FILES: Dict[str, int] = {
+    "/images/photo1.jpg": 50607,
+    "/images/photo2.jpg": 7501,
+    "/images/photo3.jpg": 14063,
+}
+
+
+@dataclass(frozen=True)
+class HostConfig:
+    """Hardware/software stack configuration.
+
+    ``vm_profile`` selects the CLI implementation's cost profile (see
+    :mod:`repro.cli.profiles`) — the paper's future-work comparison
+    across virtual machines.
+    """
+
+    files: Dict[str, int] = field(default_factory=lambda: dict(PAPER_IMAGE_FILES))
+    cache_pages: int = 16384
+    fs_params: FsParams = field(default_factory=FsParams)
+    disk_params: DiskParams = field(default_factory=DiskParams)
+    disk_geometry: DiskGeometry = field(default_factory=DiskGeometry)
+    server: WebServerConfig = field(default_factory=WebServerConfig)
+    vm_profile: str = "sscli"
+
+
+class WebServerHost:
+    """Builds the full stack and starts the server.
+
+    After construction the server is listening; use :meth:`client` and
+    drive requests inside simulation processes, or the convenience
+    :meth:`run_request_sequence`.
+    """
+
+    def __init__(self, config: Optional[HostConfig] = None) -> None:
+        self.config = config or HostConfig()
+        cfg = self.config
+        self.engine = Engine()
+        self.disk = Disk(
+            self.engine,
+            geometry=cfg.disk_geometry,
+            params=cfg.disk_params,
+            name="server-disk",
+        )
+        self.fs = FileSystem(
+            self.engine,
+            self.disk,
+            params=cfg.fs_params,
+            cache_params=CacheParams(capacity_pages=cfg.cache_pages),
+        )
+        self.network = Network(self.engine)
+        profile = get_profile(cfg.vm_profile)
+        self.runtime = CliRuntime(
+            self.engine, jit_params=profile.jit, interp_params=profile.interp
+        )
+        self.server = WebServer(
+            self.engine, self.runtime, self.fs, self.network, cfg.server
+        )
+        self.engine.run_process(self._setup())
+
+    def _setup(self):
+        docroot = self.config.server.docroot
+        for url_path, size in self.config.files.items():
+            yield from self.fs.create(docroot + url_path, size_bytes=size)
+        yield from self.server.start()
+
+    # -- conveniences ------------------------------------------------------------
+
+    def client(self) -> HttpClient:
+        return HttpClient(
+            self.network, self.config.server.host, self.config.server.port
+        )
+
+    def run_request_sequence(self, requests):
+        """Run a list of ``("GET", path)`` / ``("POST", path, nbytes)``
+        tuples sequentially from one client; returns the client
+        results.  (A plain-Python driver for benches and tests.)"""
+        client = self.client()
+
+        def driver():
+            results = []
+            for req in requests:
+                if req[0] == "GET":
+                    results.append((yield from client.get(req[1])))
+                else:
+                    results.append((yield from client.post(req[1], req[2])))
+            return results
+
+        return self.engine.run_process(driver())
+
+    @property
+    def metrics(self):
+        return self.server.metrics

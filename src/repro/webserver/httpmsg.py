@@ -1,0 +1,116 @@
+"""HTTP/1.0 message text: building and parsing.
+
+The server "parses the incoming data for request type and file name";
+we build real request/response text so parsing is genuine and message
+byte counts are self-consistent.  Bodies are carried as byte *counts*
+(the simulation does not materialize payload bytes); the wire size of
+a message is ``len(header text) + body_bytes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import HttpError
+
+__all__ = ["HttpRequest", "HttpResponse", "parse_request", "REASON_PHRASES"]
+
+REASON_PHRASES: Dict[int, str] = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+_SUPPORTED_METHODS = ("GET", "POST")
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One request: method + path + body size."""
+
+    method: str
+    path: str
+    body_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.method not in _SUPPORTED_METHODS:
+            raise HttpError(405, f"unsupported method {self.method!r}")
+        if not self.path.startswith("/"):
+            raise HttpError(400, f"path must be absolute, got {self.path!r}")
+        if self.body_bytes < 0:
+            raise HttpError(400, f"negative body size: {self.body_bytes}")
+        if self.method == "GET" and self.body_bytes:
+            raise HttpError(400, "GET must not carry a body")
+
+    def header_text(self) -> str:
+        lines = [f"{self.method} {self.path} HTTP/1.0"]
+        if self.method == "POST":
+            lines.append(f"Content-Length: {self.body_bytes}")
+        lines.append("")
+        lines.append("")
+        return "\r\n".join(lines)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire: header text + body."""
+        return len(self.header_text()) + self.body_bytes
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One response: status + body size."""
+
+    status: int
+    body_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.status not in REASON_PHRASES:
+            raise HttpError(500, f"unknown status {self.status}")
+        if self.body_bytes < 0:
+            raise HttpError(500, f"negative body size: {self.body_bytes}")
+
+    def header_text(self) -> str:
+        return (
+            f"HTTP/1.0 {self.status} {REASON_PHRASES[self.status]}\r\n"
+            f"Content-Length: {self.body_bytes}\r\n\r\n"
+        )
+
+    @property
+    def wire_bytes(self) -> int:
+        return len(self.header_text()) + self.body_bytes
+
+
+def parse_request(text: str) -> HttpRequest:
+    """Parse request header text back into an :class:`HttpRequest`.
+
+    Raises :class:`~repro.errors.HttpError` with an HTTP status code
+    on malformed input (the server converts these to error responses).
+    """
+    if not text:
+        raise HttpError(400, "empty request")
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, path, version = parts
+    if not version.startswith("HTTP/"):
+        raise HttpError(400, f"bad version {version!r}")
+    if method not in _SUPPORTED_METHODS:
+        raise HttpError(405, f"unsupported method {method!r}")
+    body = 0
+    for line in lines[1:]:
+        if not line:
+            break
+        if ":" not in line:
+            raise HttpError(400, f"malformed header {line!r}")
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                body = int(value.strip())
+            except ValueError:
+                raise HttpError(400, f"bad Content-Length {value!r}") from None
+    return HttpRequest(method=method, path=path, body_bytes=body)

@@ -1,0 +1,74 @@
+"""Per-request server-side measurements (the shape of Tables 5–6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim import Tally
+from repro.units import to_ms
+
+__all__ = ["RequestRecord", "ServerMetrics"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One served request.
+
+    ``read_time`` / ``write_time`` are the paper's measured quantities:
+    the file I/O inside ``doGet`` (filestream creation + read + close)
+    or ``doPost`` (file creation + write + close), in simulated
+    seconds.  ``response_time`` spans receive-to-send completion.
+    """
+
+    index: int
+    method: str
+    path: str
+    status: int
+    data_bytes: int
+    read_time: Optional[float]
+    write_time: Optional[float]
+    response_time: float
+
+    @property
+    def read_ms(self) -> Optional[float]:
+        return None if self.read_time is None else to_ms(self.read_time)
+
+    @property
+    def write_ms(self) -> Optional[float]:
+        return None if self.write_time is None else to_ms(self.write_time)
+
+    @property
+    def response_ms(self) -> float:
+        return to_ms(self.response_time)
+
+
+class ServerMetrics:
+    """Accumulates request records and summary tallies."""
+
+    def __init__(self) -> None:
+        self.requests: List[RequestRecord] = []
+        self.read_times = Tally("server.read")
+        self.write_times = Tally("server.write")
+        self.response_times = Tally("server.response")
+        self.errors = 0
+
+    def record(self, record: RequestRecord) -> None:
+        self.requests.append(record)
+        if record.read_time is not None:
+            self.read_times.record(record.read_time)
+        if record.write_time is not None:
+            self.write_times.record(record.write_time)
+        self.response_times.record(record.response_time)
+        if record.status >= 400:
+            self.errors += 1
+
+    @property
+    def count(self) -> int:
+        return len(self.requests)
+
+    def gets(self) -> List[RequestRecord]:
+        return [r for r in self.requests if r.method == "GET"]
+
+    def posts(self) -> List[RequestRecord]:
+        return [r for r in self.requests if r.method == "POST"]

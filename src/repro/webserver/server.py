@@ -1,0 +1,179 @@
+"""The multithreaded web server.
+
+Structure follows §4.1 exactly:
+
+* the server "starts listening on port 5050 using TcpListener class";
+* the main (accept) thread loops on ``AcceptSocket()`` and creates a
+  new managed thread per connection, invoking ``StartListen()``;
+* ``StartListen`` receives and parses the request and dispatches to
+  ``doGet``/``doPost``.
+
+``StartListen``/``doGet``/``doPost`` are CIL method bodies run by the
+VM, so the first request pays JIT compilation for the whole handler
+chain — the warm-up the paper measures in Table 6 / Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cli import AssemblyBuilder, CliRuntime, ManagedThread, MethodBuilder
+from repro.errors import ReproError
+from repro.io import FileSystem, Network, TcpListener
+from repro.rng import SeededStreams
+from repro.sim import Counter, Engine
+from repro.webserver.handlers import Connection, RequestHandlers
+from repro.webserver.metrics import ServerMetrics
+
+__all__ = ["WebServerConfig", "WebServer"]
+
+
+@dataclass(frozen=True)
+class WebServerConfig:
+    """Server knobs (defaults follow the paper)."""
+
+    host: str = "localhost"
+    port: int = 5050
+    docroot: str = "/www"
+    upload_dir: str = "/www/uploads"
+    file_chunk: int = 8192
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.port < 65536):
+            raise ReproError(f"bad port {self.port}")
+        if self.file_chunk < 1:
+            raise ReproError("file_chunk must be >= 1")
+
+
+def build_handler_methods():
+    """The CIL handler chain: StartListen dispatches to DoGet/DoPost/
+    SendError, each of which enters the class library."""
+    do_get = (
+        MethodBuilder("DoGet")
+        .arg("conn")
+        .ldarg("conn").call_intrinsic("Http.DoGet", 1, False)
+        .ret()
+        .build()
+    )
+    do_post = (
+        MethodBuilder("DoPost")
+        .arg("conn")
+        .ldarg("conn").call_intrinsic("Http.DoPost", 1, False)
+        .ret()
+        .build()
+    )
+    send_error = (
+        MethodBuilder("SendError")
+        .arg("conn")
+        .ldarg("conn").call_intrinsic("Http.SendError", 1, False)
+        .ret()
+        .build()
+    )
+    start_listen = (
+        MethodBuilder("StartListen")
+        .arg("conn").local("m")
+        # Receiving/parsing runs in a protected region: a malformed
+        # request surfaces as System.Net.ProtocolViolationException
+        # and lands in the catch block below.
+        .begin_try()
+        .ldarg("conn").call_intrinsic("Http.ReceiveRequest", 1, True).stloc("m")
+        .end_try("bad", catches="System.Net.")
+        .ldloc("m").ldc(1).ceq().brtrue("post")
+        .ldarg("conn").call(do_get).ret()
+        .label("post").ldarg("conn").call(do_post).ret()
+        .label("bad").pop().ldarg("conn").call(send_error).ret()
+        .build()
+    )
+    return start_listen, do_get, do_post, send_error
+
+
+class WebServer:
+    """One server instance bound to a runtime, file system and network."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        runtime: CliRuntime,
+        fs: FileSystem,
+        network: Network,
+        config: Optional[WebServerConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.runtime = runtime
+        self.fs = fs
+        self.network = network
+        self.config = config or WebServerConfig()
+        self.metrics = ServerMetrics()
+        self.handlers = RequestHandlers(self)
+        self.listener = TcpListener(network, self.config.host, self.config.port)
+        self.threads_spawned = Counter("server.threads")
+        self._threads: List[ManagedThread] = []
+        self._rng = SeededStreams(self.config.seed).get("post-file-names")
+        self._started = False
+
+        runtime.register_intrinsics(
+            {
+                "Http.ReceiveRequest": self.handlers.receive_request,
+                "Http.DoGet": self.handlers.do_get,
+                "Http.DoPost": self.handlers.do_post,
+                "Http.SendError": self.handlers.send_error,
+            }
+        )
+        start_listen, do_get, do_post, send_error = build_handler_methods()
+        ab = AssemblyBuilder("WebServerApp")
+        for method in (start_listen, do_get, do_post, send_error):
+            ab.add_method("Work", method)
+        self.assembly = ab.build()
+        self._start_listen = start_listen
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self):
+        """Generator: load the handler assembly and begin accepting.
+
+        The accept loop is the server's main thread: it blocks on
+        ``AcceptSocket()`` and spawns one managed thread per incoming
+        connection.
+        """
+        if self._started:
+            raise ReproError("server already started")
+        yield from self.runtime.load_assembly(self.assembly)
+        self.listener.start()
+        self.engine.process(self._accept_loop(), name="webserver.main", daemon=True)
+        self._started = True
+
+    def stop(self) -> None:
+        """Stop accepting new connections (in-flight requests finish)."""
+        self.listener.stop()
+
+    def _accept_loop(self):
+        while True:
+            socket = yield from self.listener.accept_socket()
+            conn = Connection(socket, accepted_at=self.engine.now)
+            conn_id = self.handlers.register(conn)
+            thread = self.runtime.create_thread(
+                self._start_listen, [conn_id], name=f"worker-{conn_id}"
+            )
+            thread.start()
+            self._threads.append(thread)
+            self.threads_spawned.add()
+
+    # -- path helpers ------------------------------------------------------------
+
+    def resolve_path(self, url_path: str) -> str:
+        """Map a URL path onto the simulated file system."""
+        return self.config.docroot + url_path
+
+    def new_upload_path(self) -> str:
+        """A fresh random-number file name for POST data (the paper's
+        no-synchronization-needed scheme)."""
+        while True:
+            name = f"{self.config.upload_dir}/{int(self._rng.integers(0, 2**31)):010d}.dat"
+            if not self.fs.exists(name):
+                return name
+
+    @property
+    def active_threads(self) -> int:
+        return sum(1 for t in self._threads if t.is_alive)

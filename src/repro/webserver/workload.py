@@ -1,0 +1,123 @@
+"""Multi-client workload generation.
+
+"The number of threads increases with the increasing number of
+clients" — this module drives N concurrent closed-loop clients with
+seeded think times and a GET/POST mix, for the scaling studies beyond
+the paper's single-client tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.rng import SeededStreams
+from repro.sim import Tally
+from repro.units import to_ms
+from repro.webserver.client import ClientResult
+from repro.webserver.host import WebServerHost
+
+__all__ = ["WorkloadConfig", "WorkloadResult", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Closed-loop workload parameters."""
+
+    num_clients: int = 4
+    requests_per_client: int = 10
+    get_fraction: float = 0.8
+    mean_think_time: float = 0.01
+    post_size_range: Tuple[int, int] = (1024, 65536)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_clients < 1:
+            raise ReproError("num_clients must be >= 1")
+        if self.requests_per_client < 1:
+            raise ReproError("requests_per_client must be >= 1")
+        if not (0.0 <= self.get_fraction <= 1.0):
+            raise ReproError("get_fraction must be in [0, 1]")
+        if self.mean_think_time < 0:
+            raise ReproError("mean_think_time must be >= 0")
+        lo, hi = self.post_size_range
+        if lo < 0 or hi < lo:
+            raise ReproError(f"bad post_size_range ({lo}, {hi})")
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregate outcome of one workload run."""
+
+    results: List[ClientResult]
+    latencies: Tally
+    duration: float
+    threads_spawned: int
+
+    @property
+    def count(self) -> int:
+        return len(self.results)
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return to_ms(self.latencies.mean)
+
+    @property
+    def throughput(self) -> float:
+        """Requests per simulated second."""
+        return self.count / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for r in self.results if r.status >= 400)
+
+
+class WorkloadGenerator:
+    """Drives a :class:`WebServerHost` with concurrent clients."""
+
+    def __init__(self, host: WebServerHost, config: Optional[WorkloadConfig] = None) -> None:
+        self.host = host
+        self.config = config or WorkloadConfig()
+
+    def run(self) -> WorkloadResult:
+        cfg = self.config
+        engine = self.host.engine
+        paths = sorted(self.host.config.files)
+        streams = SeededStreams(cfg.seed)
+        results: List[ClientResult] = []
+        latencies = Tally("workload.latency")
+        start = engine.now
+
+        def client_loop(cid: int):
+            rng = streams.get(f"client-{cid}")
+            client = self.host.client()
+            for _ in range(cfg.requests_per_client):
+                think = float(rng.exponential(cfg.mean_think_time)) if cfg.mean_think_time else 0.0
+                if think > 0:
+                    yield engine.timeout(think)
+                if float(rng.uniform()) < cfg.get_fraction:
+                    path = paths[int(rng.integers(0, len(paths)))]
+                    result = yield from client.get(path)
+                else:
+                    lo, hi = cfg.post_size_range
+                    nbytes = int(rng.integers(lo, hi + 1))
+                    result = yield from client.post("/uploads", nbytes)
+                results.append(result)
+                latencies.record(result.elapsed)
+
+        procs = [
+            engine.process(client_loop(cid), name=f"client-{cid}")
+            for cid in range(cfg.num_clients)
+        ]
+
+        def waiter():
+            yield engine.all_of(procs)
+
+        engine.run_process(waiter())
+        return WorkloadResult(
+            results=results,
+            latencies=latencies,
+            duration=engine.now - start,
+            threads_spawned=self.host.server.threads_spawned.value,
+        )

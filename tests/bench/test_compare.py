@@ -1,0 +1,98 @@
+"""Tests for the regression comparator."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import Drift, compare_results, load_dump, main
+from repro.bench.report import ExperimentResult
+from repro.errors import BenchmarkError
+
+
+def result(exp_id="e1", rows=None):
+    return ExperimentResult(
+        exp_id=exp_id,
+        title="t",
+        columns=("key", "value_ms"),
+        rows=rows if rows is not None else [("a", 1.0), ("b", 2.0)],
+    )
+
+
+def test_no_drift_when_identical():
+    a = {"e1": result()}
+    b = {"e1": result()}
+    assert compare_results(a, b) == []
+
+
+def test_drift_beyond_tolerance_reported():
+    a = {"e1": result(rows=[("a", 1.0)])}
+    b = {"e1": result(rows=[("a", 1.2)])}
+    drifts = compare_results(a, b, tolerance=0.1)
+    assert len(drifts) == 1
+    d = drifts[0]
+    assert d.exp_id == "e1" and d.row_key == "a" and d.column == "value_ms"
+    assert d.relative == pytest.approx(0.2)
+    assert "->" in d.render()
+
+
+def test_drift_within_tolerance_ignored():
+    a = {"e1": result(rows=[("a", 1.0)])}
+    b = {"e1": result(rows=[("a", 1.04)])}
+    assert compare_results(a, b, tolerance=0.05) == []
+
+
+def test_missing_experiment_and_row_are_structural_drifts():
+    a = {"e1": result(), "e2": result("e2")}
+    b = {"e1": result(rows=[("a", 1.0)])}
+    drifts = compare_results(a, b)
+    kinds = {(d.exp_id, d.column) for d in drifts}
+    assert ("e2", "<presence>") in kinds
+    assert ("e1", "<row>") in kinds
+
+
+def test_non_numeric_cells_ignored():
+    a = {"e1": ExperimentResult("e1", "t", ("key", "label"), [("a", "x")])}
+    b = {"e1": ExperimentResult("e1", "t", ("key", "label"), [("a", "y")])}
+    assert compare_results(a, b) == []
+
+
+def test_tolerance_validation():
+    with pytest.raises(BenchmarkError):
+        compare_results({}, {}, tolerance=-1)
+
+
+def test_load_dump_and_cli(tmp_path, capsys):
+    before = [result(rows=[("a", 1.0)]).to_dict()]
+    after = [result(rows=[("a", 5.0)]).to_dict()]
+    pb = tmp_path / "before.json"
+    pa = tmp_path / "after.json"
+    pb.write_text(json.dumps(before))
+    pa.write_text(json.dumps(after))
+
+    loaded = load_dump(str(pb))
+    assert "e1" in loaded
+
+    assert main([str(pb), str(pa)]) == 1
+    out = capsys.readouterr().out
+    assert "drift" in out
+
+    assert main([str(pb), str(pb)]) == 0
+    assert "no drift" in capsys.readouterr().out
+
+
+def test_load_dump_rejects_non_list(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text(json.dumps({"not": "a list"}))
+    with pytest.raises(BenchmarkError):
+        load_dump(str(p))
+
+
+def test_self_comparison_of_real_dump_is_clean(tmp_path, capsys):
+    """A real harness dump compared against itself shows zero drift —
+    end-to-end determinism of the whole pipeline."""
+    from repro.bench.__main__ import main as bench_main
+
+    p = tmp_path / "dump.json"
+    bench_main(["tab4", "ext_eviction", "--json", str(p)])
+    capsys.readouterr()
+    assert main([str(p), str(p), "--tolerance", "0.0"]) == 0

@@ -1,0 +1,20 @@
+"""Shared fixtures for CLI-VM tests."""
+
+import pytest
+
+from repro.cli import CliRuntime
+from repro.sim import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def runtime(engine):
+    return CliRuntime(engine)
+
+
+def run(engine, gen):
+    return engine.run_process(gen)

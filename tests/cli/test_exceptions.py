@@ -1,0 +1,283 @@
+"""Tests for managed exception handling and static fields."""
+
+import pytest
+
+from repro.cli import CliRuntime, ManagedException, MethodBuilder
+from repro.cli.metadata import ExceptionHandler
+from repro.errors import CliError, ExecutionFault, VerificationError
+from repro.sim import Engine
+
+
+def invoke(runtime, method, args=()):
+    return runtime.engine.run_process(runtime.invoke(method, args))
+
+
+# ---------------------------------------------------------------------------
+# Builder + verifier
+# ---------------------------------------------------------------------------
+
+def test_unclosed_try_rejected():
+    b = MethodBuilder("m").begin_try().nop()
+    with pytest.raises(CliError, match="unclosed"):
+        b.ret().build()
+
+
+def test_end_try_without_begin_rejected():
+    with pytest.raises(CliError, match="without a matching"):
+        MethodBuilder("m").end_try("h")
+
+
+def test_empty_try_rejected():
+    b = MethodBuilder("m").begin_try()
+    with pytest.raises(CliError, match="empty"):
+        b.end_try("h")
+
+
+def test_undefined_handler_label_rejected():
+    b = MethodBuilder("m").begin_try().nop().end_try("ghost").ret()
+    with pytest.raises(CliError, match="ghost"):
+        b.build()
+
+
+def test_verifier_checks_handler_entry_depth():
+    from repro.cli.cil import Instruction, Op
+    from repro.cli.metadata import MethodDef
+    from repro.cli.verifier import verify_method
+
+    # Handler entry (seeded at depth 1) collides with the fall-through
+    # path at depth 0 — rejected either as an inconsistent join or as a
+    # bad ret depth, depending on traversal order.
+    body = [Instruction(Op.NOP), Instruction(Op.RET)]
+    m = MethodDef("m", body, handlers=[ExceptionHandler(0, 1, 1)])
+    with pytest.raises(VerificationError, match="inconsistent|ret with stack depth"):
+        verify_method(m)
+
+
+def test_verifier_rejects_malformed_region():
+    from repro.cli.cil import Instruction, Op
+    from repro.cli.metadata import MethodDef
+    from repro.cli.verifier import verify_method
+
+    body = [Instruction(Op.NOP), Instruction(Op.RET)]
+    with pytest.raises(VerificationError, match="malformed"):
+        verify_method(MethodDef("m", body, handlers=[ExceptionHandler(1, 1, 0)]))
+    with pytest.raises(VerificationError, match="out of range"):
+        verify_method(MethodDef("m", body, handlers=[ExceptionHandler(0, 1, 9)]))
+
+
+def test_throw_with_empty_stack_rejected():
+    from repro.cli.cil import Instruction, Op
+    from repro.cli.metadata import MethodDef
+    from repro.cli.verifier import verify_method
+
+    with pytest.raises(VerificationError, match="empty stack"):
+        verify_method(MethodDef("m", [Instruction(Op.THROW)]))
+
+
+def catcher_method():
+    """returns 111 if the protected body throws, else the body value."""
+    return (
+        MethodBuilder("catcher", returns=True)
+        .arg("x")
+        .begin_try()
+        .ldc(100).ldarg("x").div()   # throws when x == 0
+        .ret()
+        .end_try("handler")
+        .label("handler")
+        .pop()                        # discard the exception object
+        .ldc(111).ret()
+        .build()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Runtime semantics
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def runtime():
+    return CliRuntime(Engine())
+
+
+def test_no_exception_takes_normal_path(runtime):
+    assert invoke(runtime, catcher_method(), [4]) == 25
+
+
+def test_divide_by_zero_caught(runtime):
+    assert invoke(runtime, catcher_method(), [0]) == 111
+    assert runtime.interpreter.exceptions_caught.value == 1
+
+
+def test_explicit_throw_and_catch(runtime):
+    m = (
+        MethodBuilder("t", returns=True)
+        .begin_try()
+        .ldstr("boom").throw()
+        .end_try("h")
+        .label("h").pop().ldc(7).ret()
+        .build()
+    )
+    assert invoke(runtime, m) == 7
+    assert runtime.interpreter.exceptions_thrown.value == 1
+
+
+def test_uncaught_exception_propagates_to_host(runtime):
+    m = MethodBuilder("t", returns=True).ldstr("boom").throw().build()
+    with pytest.raises(ManagedException, match="boom"):
+        invoke(runtime, m)
+
+
+def test_exception_unwinds_through_callee(runtime):
+    thrower = (
+        MethodBuilder("thrower", returns=True)
+        .ldc(1).ldc(0).div().ret()
+        .build()
+    )
+    caller = (
+        MethodBuilder("caller", returns=True)
+        .begin_try()
+        .call(thrower).ret()
+        .end_try("h")
+        .label("h").pop().ldc(42).ret()
+        .build()
+    )
+    assert invoke(runtime, caller) == 42
+
+
+def test_handler_receives_exception_object(runtime):
+    runtime.register_intrinsic("inspect", lambda exc: exc.type_name)
+    m = (
+        MethodBuilder("t", returns=True)
+        .begin_try()
+        .ldc(1).ldc(0).div().pop().ldc(0).ret()
+        .end_try("h")
+        .label("h")
+        .call_intrinsic("inspect", 1, True)
+        .ret()
+        .build()
+    )
+    assert invoke(runtime, m) == "System.DivideByZeroException"
+
+
+def test_catch_type_filter(runtime):
+    """A handler whose `catches` prefix does not match lets the
+    exception keep unwinding."""
+    m = (
+        MethodBuilder("t", returns=True)
+        .begin_try()
+        .ldc(1).ldc(0).div().ret()
+        .end_try("h", catches="System.Null")
+        .label("h").pop().ldc(1).ret()
+        .build()
+    )
+    with pytest.raises(ManagedException, match="DivideByZero"):
+        invoke(runtime, m)
+
+
+def test_nested_regions_prefer_innermost(runtime):
+    m = (
+        MethodBuilder("t", returns=True)
+        .begin_try()
+        .begin_try()
+        .ldc(1).ldc(0).div().ret()
+        .end_try("inner")
+        .ret()
+        .end_try("outer")
+        .label("inner").pop().ldc(1).ret()
+        .label("outer").pop().ldc(2).ret()
+        .build()
+    )
+    assert invoke(runtime, m) == 1
+
+
+def test_intrinsic_raised_managed_exception_is_catchable(runtime):
+    def failing_io():
+        raise ManagedException("System.IO.IOException", "disk on fire")
+
+    runtime.register_intrinsic("Fail.IO", failing_io)
+    m = (
+        MethodBuilder("t", returns=True)
+        .begin_try()
+        .call_intrinsic("Fail.IO", 0, False)
+        .ldc(0).ret()
+        .end_try("h")
+        .label("h").pop().ldc(99).ret()
+        .build()
+    )
+    assert invoke(runtime, m) == 99
+
+
+def test_intrinsic_coroutine_exception_is_catchable(runtime):
+    engine = runtime.engine
+
+    def failing_slow_io():
+        yield engine.timeout(0.25)
+        raise ManagedException("System.IO.IOException", "late failure")
+
+    runtime.register_intrinsic("Fail.Slow", failing_slow_io)
+    m = (
+        MethodBuilder("t", returns=True)
+        .begin_try()
+        .call_intrinsic("Fail.Slow", 0, False)
+        .ldc(0).ret()
+        .end_try("h")
+        .label("h").pop().ldc(5).ret()
+        .build()
+    )
+    assert invoke(runtime, m) == 5
+    assert engine.now >= 0.25
+
+
+def test_exception_costs_simulated_time(runtime):
+    engine = runtime.engine
+    m = catcher_method()
+    invoke(runtime, m, [4])  # warm the JIT
+    t0 = engine.now
+    invoke(runtime, m, [0])
+    exceptional = engine.now - t0
+    t1 = engine.now
+    invoke(runtime, m, [4])
+    normal = engine.now - t1
+    assert exceptional > normal
+
+
+def test_null_ldlen_raises_catchable_nullref(runtime):
+    m = (
+        MethodBuilder("t", returns=True)
+        .begin_try()
+        .ldc(None).ldlen().ret()
+        .end_try("h", catches="System.NullReference")
+        .label("h").pop().ldc(404).ret()
+        .build()
+    )
+    assert invoke(runtime, m) == 404
+
+
+# ---------------------------------------------------------------------------
+# Static fields
+# ---------------------------------------------------------------------------
+
+def test_static_fields_default_zero(runtime):
+    m = MethodBuilder("t", returns=True).ldsfld("Counters::hits").ret().build()
+    assert invoke(runtime, m) == 0
+
+
+def test_static_fields_persist_across_invocations(runtime):
+    bump = (
+        MethodBuilder("bump", returns=True)
+        .ldsfld("Counters::hits").ldc(1).add()
+        .dup().stsfld("Counters::hits")
+        .ret()
+        .build()
+    )
+    assert invoke(runtime, bump) == 1
+    assert invoke(runtime, bump) == 2
+    assert invoke(runtime, bump) == 3
+    assert runtime.interpreter.statics["Counters::hits"] == 3
+
+
+def test_static_fields_shared_between_methods(runtime):
+    writer = MethodBuilder("w").ldc(17).stsfld("Shared::v").ret().build()
+    reader = MethodBuilder("r", returns=True).ldsfld("Shared::v").ret().build()
+    invoke(runtime, writer)
+    assert invoke(runtime, reader) == 17

@@ -1,0 +1,273 @@
+"""Tests for the CIL interpreter (execution engine)."""
+
+import pytest
+
+from repro.cli import CliRuntime, MethodBuilder
+from repro.errors import ExecutionFault, TypeMismatch
+from repro.sim import Engine
+
+from tests.cli.conftest import run
+
+
+def invoke(runtime, method, args=()):
+    return runtime.engine.run_process(runtime.invoke(method, args))
+
+
+def test_constant_return(runtime):
+    m = MethodBuilder("c", returns=True).ldc(42).ret().build()
+    assert invoke(runtime, m) == 42
+
+
+def test_void_method_returns_none(runtime):
+    m = MethodBuilder("v").nop().ret().build()
+    assert invoke(runtime, m) is None
+
+
+def test_arithmetic(runtime):
+    m = (
+        MethodBuilder("arith", returns=True)
+        .arg("a").arg("b")
+        .ldarg("a").ldarg("b").add()   # a+b
+        .ldarg("a").ldarg("b").sub()   # a-b
+        .mul()                          # (a+b)*(a-b)
+        .ret()
+        .build()
+    )
+    assert invoke(runtime, m, [7, 3]) == 40
+
+
+def test_division_truncates_toward_zero(runtime):
+    m = (
+        MethodBuilder("d", returns=True)
+        .arg("a").arg("b").ldarg("a").ldarg("b").div().ret().build()
+    )
+    assert invoke(runtime, m, [7, 2]) == 3
+    assert invoke(runtime, m, [-7, 2]) == -3   # C# semantics, not Python floor
+    assert invoke(runtime, m, [7, -2]) == -3
+    assert invoke(runtime, m, [7.0, 2.0]) == 3.5
+
+
+def test_remainder_has_dividend_sign(runtime):
+    m = (
+        MethodBuilder("r", returns=True)
+        .arg("a").arg("b").ldarg("a").ldarg("b").rem().ret().build()
+    )
+    assert invoke(runtime, m, [7, 3]) == 1
+    assert invoke(runtime, m, [-7, 3]) == -1
+
+
+def test_divide_by_zero_faults(runtime):
+    m = (
+        MethodBuilder("dz", returns=True)
+        .arg("a").ldarg("a").ldc(0).div().ret().build()
+    )
+    with pytest.raises(ExecutionFault, match="DivideByZero"):
+        invoke(runtime, m, [1])
+
+
+def test_bitwise_and_shifts(runtime):
+    m = (
+        MethodBuilder("bits", returns=True)
+        .ldc(0b1100).ldc(0b1010).and_()
+        .ldc(1).shl()
+        .ret().build()
+    )
+    assert invoke(runtime, m) == 0b10000
+
+
+def test_comparisons_push_0_or_1(runtime):
+    for op_name, a, b, expected in [
+        ("ceq", 3, 3, 1), ("ceq", 3, 4, 0),
+        ("cgt", 4, 3, 1), ("cgt", 3, 4, 0),
+        ("clt", 3, 4, 1), ("clt", 4, 3, 0),
+    ]:
+        b_ = (
+            MethodBuilder("cmp", returns=True)
+            .arg("a").arg("b").ldarg("a").ldarg("b")
+        )
+        getattr(b_, op_name)()
+        m = b_.ret().build()
+        assert invoke(runtime, m, [a, b]) == expected, (op_name, a, b)
+
+
+def test_locals_and_args_mutation(runtime):
+    m = (
+        MethodBuilder("swap_sum", returns=True)
+        .arg("a").arg("b").local("t")
+        .ldarg("a").stloc("t")
+        .ldarg("b").starg("a")
+        .ldloc("t").starg("b")
+        .ldarg("a").ldarg("b").sub()
+        .ret().build()
+    )
+    assert invoke(runtime, m, [10, 4]) == -6  # swapped: 4 - 10
+
+
+def test_loop_sum(runtime):
+    m = (
+        MethodBuilder("sum_to_n", returns=True)
+        .arg("n").local("i").local("acc")
+        .ldc(0).stloc("acc").ldc(0).stloc("i")
+        .label("top")
+        .ldloc("i").ldarg("n").clt().brfalse("done")
+        .ldloc("acc").ldloc("i").add().stloc("acc")
+        .ldloc("i").ldc(1).add().stloc("i")
+        .br("top")
+        .label("done")
+        .ldloc("acc").ret().build()
+    )
+    assert invoke(runtime, m, [100]) == sum(range(100))
+
+
+def test_execution_takes_simulated_time(engine, runtime):
+    m = (
+        MethodBuilder("spin")
+        .local("i").ldc(0).stloc("i")
+        .label("top")
+        .ldloc("i").ldc(10_000).clt().brfalse("done")
+        .ldloc("i").ldc(1).add().stloc("i")
+        .br("top")
+        .label("done").ret().build()
+    )
+    invoke(runtime, m)
+    # ~60k instructions at 60ns each, plus JIT.
+    assert engine.now > 1e-3
+    assert runtime.interpreter.instructions_executed.value > 50_000
+
+
+def test_call_between_methods(runtime):
+    callee = (
+        MethodBuilder("double", returns=True)
+        .arg("x").ldarg("x").ldc(2).mul().ret().build()
+    )
+    caller = (
+        MethodBuilder("quad", returns=True)
+        .arg("x").ldarg("x").call(callee).call(callee).ret().build()
+    )
+    assert invoke(runtime, caller, [5]) == 20
+
+
+def test_call_by_name_via_resolver(engine, runtime):
+    from repro.cli import AssemblyBuilder
+
+    ab = AssemblyBuilder("lib")
+    ab.add_method(
+        "Math",
+        MethodBuilder("inc", returns=True).arg("x").ldarg("x").ldc(1).add().ret().build(),
+    )
+    run(engine, runtime.load_assembly(ab.build()))
+    caller = (
+        MethodBuilder("go", returns=True)
+        .ldc(41).call(("Math::inc", 1, True)).ret().build()
+    )
+    assert invoke(runtime, caller) == 42
+
+
+def test_call_signature_mismatch_faults(engine, runtime):
+    from repro.cli import AssemblyBuilder
+
+    ab = AssemblyBuilder("lib")
+    ab.add_method(
+        "Math",
+        MethodBuilder("inc", returns=True).arg("x").ldarg("x").ldc(1).add().ret().build(),
+    )
+    run(engine, runtime.load_assembly(ab.build()))
+    caller = (
+        MethodBuilder("go", returns=True)
+        .ldc(1).ldc(2).call(("Math::inc", 2, True)).ret().build()
+    )
+    with pytest.raises(ExecutionFault, match="signature mismatch"):
+        invoke(runtime, caller)
+
+
+def test_recursion_depth_limited(runtime):
+    rec = MethodBuilder("rec", returns=True)
+    rec.call(("Program::rec", 0, True)).ret()
+    m = rec.build()
+    from repro.cli import AssemblyBuilder
+
+    ab = AssemblyBuilder("lib")
+    ab.add_method("Program", m)
+    run(runtime.engine, runtime.load_assembly(ab.build()))
+    with pytest.raises(ExecutionFault, match="call depth"):
+        invoke(runtime, m)
+
+
+def test_intrinsic_plain_function(runtime):
+    runtime.register_intrinsic("host_add", lambda a, b: a + b)
+    m = (
+        MethodBuilder("go", returns=True)
+        .ldc(2).ldc(3).call_intrinsic("host_add", 2, True).ret().build()
+    )
+    assert invoke(runtime, m) == 5
+
+
+def test_intrinsic_coroutine_consumes_sim_time(engine, runtime):
+    def slow_io(n):
+        yield engine.timeout(0.5)
+        return n * 10
+
+    runtime.register_intrinsic("slow_io", slow_io)
+    m = (
+        MethodBuilder("go", returns=True)
+        .ldc(7).call_intrinsic("slow_io", 1, True).ret().build()
+    )
+    assert invoke(runtime, m) == 70
+    assert engine.now >= 0.5
+
+
+def test_unknown_intrinsic_faults(runtime):
+    m = MethodBuilder("go").call_intrinsic("ghost", 0, False).ret().build()
+    with pytest.raises(ExecutionFault, match="unknown intrinsic"):
+        invoke(runtime, m)
+
+
+def test_newarr_ldlen_and_gc_accounting(runtime):
+    m = (
+        MethodBuilder("go", returns=True)
+        .ldc(1000).newarr().ldlen().ret().build()
+    )
+    assert invoke(runtime, m) == 1000
+    assert runtime.heap.total_allocated.value == 8000
+
+
+def test_ldstr_allocates(runtime):
+    m = MethodBuilder("go", returns=True).ldstr("hello").ret().build()
+    assert invoke(runtime, m) == "hello"
+    assert runtime.heap.total_allocated.value == 10  # UTF-16
+
+
+def test_conv(runtime):
+    m = (
+        MethodBuilder("go", returns=True)
+        .ldc(2**33 + 5).conv("i4").ret().build()
+    )
+    assert invoke(runtime, m) == 5
+    m2 = MethodBuilder("f", returns=True).ldc(3).conv("r8").ret().build()
+    assert invoke(runtime, m2) == 3.0
+    m3 = MethodBuilder("g", returns=True).ldc(-1).conv("i4").ret().build()
+    assert invoke(runtime, m3) == -1
+
+
+def test_type_mismatch_faults(runtime):
+    m = (
+        MethodBuilder("bad", returns=True)
+        .ldstr("x").ldc(1).add().ret().build()
+    )
+    with pytest.raises(TypeMismatch):
+        invoke(runtime, m)
+
+
+def test_unverified_method_rejected(runtime):
+    from repro.cli.cil import Instruction, Op
+    from repro.cli.metadata import MethodDef
+
+    m = MethodDef("raw", [Instruction(Op.RET)])
+    with pytest.raises(ExecutionFault, match="not verified"):
+        invoke(runtime, m)
+
+
+def test_wrong_arg_count_rejected(runtime):
+    m = MethodBuilder("one", returns=True).arg("x").ldarg("x").ret().build()
+    with pytest.raises(ExecutionFault, match="expects 1 args"):
+        invoke(runtime, m, [1, 2])

@@ -1,0 +1,300 @@
+"""Tests for the JIT cost model, GC model, threads, runtime, perfcounter."""
+
+import pytest
+
+from repro.cli import (
+    CliRuntime,
+    GcParams,
+    JitParams,
+    ManagedHeap,
+    MethodBuilder,
+    PerformanceCounter,
+    Stopwatch,
+)
+from repro.errors import CliError, JitError
+from repro.sim import Engine
+
+from tests.cli.conftest import run
+
+
+# ---------------------------------------------------------------------------
+# JIT
+# ---------------------------------------------------------------------------
+
+def test_first_call_pays_jit_cost(engine, runtime):
+    m = MethodBuilder("f", returns=True).ldc(1).ret().build()
+
+    def scenario():
+        t0 = engine.now
+        yield from runtime.invoke(m)
+        first = engine.now - t0
+        t1 = engine.now
+        yield from runtime.invoke(m)
+        second = engine.now - t1
+        return first, second
+
+    first, second = run(engine, scenario())
+    assert first > second
+    assert first - second >= runtime.jit.params.base_cost * 0.9
+    assert runtime.jit.methods_compiled.value == 1
+
+
+def test_jit_cost_scales_with_body_size(engine):
+    rt = CliRuntime(engine)
+    small = MethodBuilder("small", returns=True).ldc(1).ret().build()
+    big_b = MethodBuilder("big", returns=True)
+    for _ in range(200):
+        big_b.nop()
+    big = big_b.ldc(1).ret().build()
+    assert rt.jit.compile_cost(big) > rt.jit.compile_cost(small)
+
+
+def test_concurrent_first_calls_compile_once(engine, runtime):
+    m = MethodBuilder("f", returns=True).ldc(1).ret().build()
+
+    def worker():
+        yield from runtime.invoke(m)
+
+    for _ in range(5):
+        engine.process(worker())
+    engine.run()
+    assert runtime.jit.methods_compiled.value == 1
+
+
+def test_cold_restart_forgets_compilation(engine, runtime):
+    m = MethodBuilder("f", returns=True).ldc(1).ret().build()
+    run(engine, runtime.invoke(m))
+    runtime.cold_restart()
+    run(engine, runtime.invoke(m))
+    assert runtime.jit.methods_compiled.value == 2
+
+
+def test_jit_params_validation():
+    with pytest.raises(JitError):
+        JitParams(base_cost=-1)
+
+
+# ---------------------------------------------------------------------------
+# GC
+# ---------------------------------------------------------------------------
+
+def test_allocation_accumulates_and_triggers_collection(engine):
+    heap = ManagedHeap(engine, GcParams(gen0_threshold=1000))
+
+    def scenario():
+        for _ in range(5):
+            yield from heap.allocate(300)
+
+    run(engine, scenario())
+    assert heap.collections.value == 1
+    assert heap.total_allocated.value == 1500
+    # Post-collection gen0 restarted.
+    assert heap.gen0_bytes == 300
+
+
+def test_gc_pause_recorded_and_survivors_promoted(engine):
+    heap = ManagedHeap(engine, GcParams(gen0_threshold=100, survival_fraction=0.5))
+
+    def scenario():
+        yield from heap.allocate(200)
+
+    run(engine, scenario())
+    assert heap.collections.value == 1
+    assert heap.promoted_bytes == 100
+    assert heap.pause_times.count == 1
+    assert heap.live_estimate == 100
+
+
+def test_gc_params_validation():
+    with pytest.raises(CliError):
+        GcParams(gen0_threshold=0)
+    with pytest.raises(CliError):
+        GcParams(survival_fraction=1.5)
+    with pytest.raises(CliError):
+        GcParams(pause_base=-1)
+
+
+def test_negative_allocation_rejected(engine):
+    heap = ManagedHeap(engine)
+    with pytest.raises(CliError):
+        run(engine, heap.allocate(-1))
+
+
+# ---------------------------------------------------------------------------
+# Threads
+# ---------------------------------------------------------------------------
+
+def test_thread_start_and_join(engine, runtime):
+    m = MethodBuilder("work", returns=True).arg("x").ldarg("x").ldc(2).mul().ret().build()
+
+    def scenario():
+        t = runtime.create_thread(m, [21])
+        t.start()
+        result = yield from t.join()
+        return result
+
+    assert run(engine, scenario()) == 42
+    assert runtime.threads_started.value == 1
+
+
+def test_thread_pays_start_overhead(engine, runtime):
+    m = MethodBuilder("noop").ret().build()
+
+    def scenario():
+        t = runtime.create_thread(m).start()
+        yield from t.join()
+        return engine.now
+
+    finished = run(engine, scenario())
+    assert finished >= runtime.params.thread_start_overhead
+
+
+def test_thread_double_start_rejected(engine, runtime):
+    m = MethodBuilder("noop").ret().build()
+    t = runtime.create_thread(m)
+    t.start()
+    with pytest.raises(CliError):
+        t.start()
+
+
+def test_thread_join_before_start_rejected(engine, runtime):
+    m = MethodBuilder("noop").ret().build()
+    t = runtime.create_thread(m)
+    with pytest.raises(CliError):
+        run(engine, t.join())
+
+
+def test_thread_runs_raw_coroutine(engine, runtime):
+    def coro():
+        yield engine.timeout(1.0)
+        return "done"
+
+    def scenario():
+        t = runtime.create_thread(coro()).start()
+        result = yield from t.join()
+        return result
+
+    assert run(engine, scenario()) == "done"
+
+
+def test_threads_run_concurrently(engine, runtime):
+    def coro(delay):
+        yield engine.timeout(delay)
+
+    def scenario():
+        threads = [runtime.create_thread(coro(1.0)).start() for _ in range(4)]
+        for t in threads:
+            yield from t.join()
+        return engine.now
+
+    finished = run(engine, scenario())
+    # Concurrent, not serialized: ~1s plus start overheads, well under 4s.
+    assert finished < 2.0
+
+
+# ---------------------------------------------------------------------------
+# Runtime facade
+# ---------------------------------------------------------------------------
+
+def test_assembly_load_charges_time(engine, runtime):
+    from repro.cli import AssemblyBuilder
+
+    ab = AssemblyBuilder("app")
+    for i in range(10):
+        ab.add_method("T", MethodBuilder(f"m{i}").ret().build())
+
+    def scenario():
+        t0 = engine.now
+        yield from runtime.load_assembly(ab.build())
+        return engine.now - t0
+
+    elapsed = run(engine, scenario())
+    expected = (
+        runtime.params.assembly_load_base
+        + 10 * runtime.params.assembly_load_per_method
+    )
+    assert elapsed == pytest.approx(expected)
+
+
+def test_duplicate_assembly_rejected(engine, runtime):
+    from repro.cli import AssemblyBuilder
+
+    asm = AssemblyBuilder("app").build()
+    run(engine, runtime.load_assembly(asm))
+    from repro.cli.metadata import AssemblyDef
+
+    with pytest.raises(CliError):
+        run(engine, runtime.load_assembly(AssemblyDef("app")))
+
+
+def test_duplicate_intrinsic_rejected(runtime):
+    runtime.register_intrinsic("x", lambda: None)
+    with pytest.raises(CliError):
+        runtime.register_intrinsic("x", lambda: None)
+
+
+def test_invoke_by_name(engine, runtime):
+    from repro.cli import AssemblyBuilder
+
+    ab = AssemblyBuilder("app")
+    ab.add_method("P", MethodBuilder("main", returns=True).ldc(9).ret().build())
+    run(engine, runtime.load_assembly(ab.build()))
+    assert run(engine, runtime.invoke("P::main")) == 9
+
+
+def test_find_method_missing(runtime):
+    with pytest.raises(CliError):
+        runtime.find_method("Nope::nothing")
+
+
+# ---------------------------------------------------------------------------
+# Performance counter / stopwatch
+# ---------------------------------------------------------------------------
+
+def test_perfcounter_tracks_sim_time(engine):
+    pc = PerformanceCounter(engine, frequency=1_000_000)
+    assert pc.query() == 0
+
+    def scenario():
+        yield engine.timeout(0.5)
+
+    engine.process(scenario())
+    engine.run()
+    assert pc.query() == 500_000
+    assert pc.ticks_to_ms(500_000) == pytest.approx(500.0)
+
+
+def test_stopwatch(engine):
+    pc = PerformanceCounter(engine, frequency=10_000_000)
+    sw = Stopwatch(pc)
+
+    def scenario():
+        sw.start()
+        yield engine.timeout(0.25)
+        sw.stop()
+        yield engine.timeout(0.25)  # not counted
+        sw.start()
+        yield engine.timeout(0.1)
+        sw.stop()
+
+    engine.process(scenario())
+    engine.run()
+    assert sw.elapsed_seconds == pytest.approx(0.35)
+    assert sw.elapsed_ms == pytest.approx(350.0)
+
+
+def test_stopwatch_misuse(engine):
+    sw = Stopwatch(PerformanceCounter(engine))
+    with pytest.raises(CliError):
+        sw.stop()
+    sw.start()
+    with pytest.raises(CliError):
+        sw.start()
+    sw.reset()
+    assert not sw.running
+    assert sw.elapsed_ticks == 0
+
+
+def test_perfcounter_validation(engine):
+    with pytest.raises(CliError):
+        PerformanceCounter(engine, frequency=0)

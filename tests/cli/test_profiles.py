@@ -1,0 +1,49 @@
+"""Tests for the VM cost profiles."""
+
+import pytest
+
+from repro.cli.profiles import VM_PROFILES, get_profile
+from repro.errors import CliError
+
+
+def test_expected_profiles_present():
+    assert set(VM_PROFILES) == {"sscli", "commercial", "interpreter"}
+
+
+def test_get_profile_case_insensitive():
+    assert get_profile("SSCLI") is VM_PROFILES["sscli"]
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(CliError):
+        get_profile("graalvm")
+
+
+def test_profile_cost_relationships():
+    sscli = get_profile("sscli")
+    commercial = get_profile("commercial")
+    interp = get_profile("interpreter")
+    # Optimizing JIT: slower compile, faster code.
+    assert commercial.jit.base_cost > sscli.jit.base_cost
+    assert commercial.interp.instruction_cost < sscli.interp.instruction_cost
+    # Interpreter: no compile cost, slowest code.
+    assert interp.jit.base_cost == 0.0
+    assert interp.jit.per_instruction_cost == 0.0
+    assert interp.interp.instruction_cost > sscli.interp.instruction_cost
+
+
+def test_profiles_drive_the_runtime():
+    from repro.cli import CliRuntime, MethodBuilder
+    from repro.sim import Engine
+
+    m = MethodBuilder("f", returns=True).ldc(1).ret().build()
+
+    def first_call_time(profile_name):
+        profile = get_profile(profile_name)
+        engine = Engine()
+        rt = CliRuntime(engine, jit_params=profile.jit, interp_params=profile.interp)
+        engine.run_process(rt.invoke(m))
+        return engine.now
+
+    assert first_call_time("commercial") > first_call_time("sscli")
+    assert first_call_time("interpreter") < first_call_time("sscli")

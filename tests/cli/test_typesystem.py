@@ -1,0 +1,68 @@
+"""Tests for the common type system."""
+
+import pytest
+
+from repro.cli import CliType, PrimitiveKind, TypeRegistry
+from repro.cli.typesystem import INT32, STRING, VOID
+from repro.errors import CliError, TypeMismatch
+
+
+def test_primitive_lookup():
+    reg = TypeRegistry()
+    assert reg.primitive("int32") is INT32
+    assert reg.primitive("string") is STRING
+    with pytest.raises(CliError):
+        reg.primitive("quaternion")
+
+
+def test_primitive_properties():
+    assert INT32.is_primitive
+    assert INT32.is_numeric
+    assert not INT32.is_reference
+    assert STRING.is_reference
+    assert not STRING.is_numeric
+    assert not VOID.is_numeric
+
+
+def test_register_class():
+    reg = TypeRegistry()
+    t = reg.register_class("WebServer")
+    assert t.is_reference
+    assert not t.is_primitive
+    # Idempotent.
+    assert reg.register_class("WebServer") is t
+
+
+def test_class_name_collision_with_primitive():
+    reg = TypeRegistry()
+    with pytest.raises(CliError):
+        reg.register_class("int32")
+
+
+def test_array_types():
+    reg = TypeRegistry()
+    arr = reg.array_of(INT32)
+    assert arr.is_array
+    assert arr.is_reference
+    assert arr.element is INT32
+    assert arr.name == "int32[]"
+    # Interned.
+    assert reg.array_of(INT32) is arr
+
+
+def test_resolve_including_arrays():
+    reg = TypeRegistry()
+    reg.register_class("Buffer")
+    assert reg.resolve("Buffer").name == "Buffer"
+    nested = reg.resolve("int32[][]")
+    assert nested.is_array
+    assert nested.element.name == "int32[]"
+    with pytest.raises(CliError):
+        reg.resolve("Missing")
+
+
+def test_contains():
+    reg = TypeRegistry()
+    assert "int32" in reg
+    assert "int32[]" in reg
+    assert "Missing" not in reg

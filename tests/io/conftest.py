@@ -1,0 +1,36 @@
+"""Shared fixtures for the io-layer tests: a small engine + disk + fs."""
+
+import pytest
+
+from repro.io import CacheParams, FileSystem, FsParams
+from repro.io.prefetch import NoPrefetch
+from repro.sim import Engine
+from repro.storage import Disk, DiskGeometry
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def disk(engine):
+    # ~40 MB disk: plenty for the io-layer tests and fast to simulate.
+    return Disk(engine, geometry=DiskGeometry(cylinders=1000, heads=2, sectors_per_track=40))
+
+
+@pytest.fixture
+def fs(engine, disk):
+    """File system with prefetching disabled (most tests want the
+    demand path only; prefetch-specific tests build their own)."""
+    return FileSystem(
+        engine,
+        disk,
+        cache_params=CacheParams(capacity_pages=512),
+        prefetch_policy=NoPrefetch(),
+    )
+
+
+def run(engine, gen):
+    """Run one coroutine to completion, returning its value."""
+    return engine.run_process(gen)

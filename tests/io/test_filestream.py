@@ -1,0 +1,181 @@
+"""Tests for FileStream / StreamWriter / StreamReader."""
+
+import pytest
+
+from repro.errors import FileNotFound, FileSystemError
+from repro.io import FileMode, FileStream, SeekOrigin, StreamReader, StreamWriter
+
+from tests.io.conftest import run
+
+
+def test_open_missing_file_raises(engine, fs):
+    def scenario():
+        yield from FileStream.open(fs, "/nope", FileMode.OPEN)
+
+    with pytest.raises(FileNotFound):
+        run(engine, scenario())
+
+
+def test_create_write_read_roundtrip(engine, fs):
+    def scenario():
+        s = yield from FileStream.open(fs, "/f", FileMode.CREATE)
+        yield from s.write(5000)
+        assert s.length == 5000
+        yield from s.seek(0)
+        got = yield from s.read(10_000)
+        assert got == 5000
+        yield from s.close()
+        assert not s.is_open
+
+    run(engine, scenario())
+
+
+def test_create_truncates_existing(engine, fs):
+    def scenario():
+        s = yield from FileStream.open(fs, "/f", FileMode.CREATE)
+        yield from s.write(5000)
+        yield from s.close()
+        s2 = yield from FileStream.open(fs, "/f", FileMode.CREATE)
+        assert s2.length == 0
+        yield from s2.close()
+
+    run(engine, scenario())
+
+
+def test_append_positions_at_end(engine, fs):
+    def scenario():
+        s = yield from FileStream.open(fs, "/f", FileMode.CREATE)
+        yield from s.write(1000)
+        yield from s.close()
+        s2 = yield from FileStream.open(fs, "/f", FileMode.APPEND)
+        assert s2.position == 1000
+        yield from s2.write(500)
+        yield from s2.close()
+        return fs.size_of("/f")
+
+    assert run(engine, scenario()) == 1500
+
+
+def test_seek_origins(engine, fs):
+    def scenario():
+        s = yield from FileStream.open(fs, "/f", FileMode.CREATE)
+        yield from s.write(1000)
+        yield from s.seek(100, SeekOrigin.BEGIN)
+        assert s.position == 100
+        yield from s.seek(50, SeekOrigin.CURRENT)
+        assert s.position == 150
+        yield from s.seek(-100, SeekOrigin.END)
+        assert s.position == 900
+        with pytest.raises(FileSystemError):
+            yield from s.seek(-5000, SeekOrigin.END)
+        yield from s.close()
+
+    run(engine, scenario())
+
+
+def test_read_to_end(engine, fs):
+    def scenario():
+        yield from fs.create("/f", size_bytes=150_000)
+        s = yield from FileStream.open(fs, "/f", FileMode.OPEN)
+        total = yield from s.read_to_end(chunk=65536)
+        yield from s.close()
+        return total
+
+    assert run(engine, scenario()) == 150_000
+
+
+def test_read_to_end_chunk_validation(engine, fs):
+    def scenario():
+        yield from fs.create("/f", size_bytes=10)
+        s = yield from FileStream.open(fs, "/f", FileMode.OPEN)
+        with pytest.raises(FileSystemError):
+            yield from s.read_to_end(chunk=0)
+        yield from s.close()
+
+    run(engine, scenario())
+
+
+def test_streamwriter_buffers_small_writes(engine, fs):
+    def scenario():
+        s = yield from FileStream.open(fs, "/log", FileMode.CREATE)
+        w = StreamWriter(s, buffer_size=1024)
+        for _ in range(10):
+            yield from w.write(100)  # 1000 bytes < buffer: no fs write yet
+        assert fs.op_times["write"].count == 0
+        yield from w.write(100)  # crosses 1024 → one flush
+        assert fs.op_times["write"].count == 1
+        yield from w.close()
+        return fs.size_of("/log"), w.bytes_written
+
+    size, written = run(engine, scenario())
+    assert size == 1100
+    assert written == 1100
+
+
+def test_streamwriter_write_line_adds_newline(engine, fs):
+    def scenario():
+        s = yield from FileStream.open(fs, "/log", FileMode.CREATE)
+        w = StreamWriter(s)
+        yield from w.write_line(10)
+        yield from w.close()
+        return fs.size_of("/log")
+
+    assert run(engine, scenario()) == 12  # CRLF
+
+
+def test_streamwriter_flush_idempotent(engine, fs):
+    def scenario():
+        s = yield from FileStream.open(fs, "/log", FileMode.CREATE)
+        w = StreamWriter(s)
+        yield from w.flush()  # nothing buffered: no-op
+        yield from w.write(10)
+        yield from w.flush()
+        yield from w.flush()
+        yield from w.close()
+        return fs.size_of("/log")
+
+    assert run(engine, scenario()) == 10
+
+
+def test_streamwriter_validation(engine, fs):
+    def scenario():
+        s = yield from FileStream.open(fs, "/log", FileMode.CREATE)
+        with pytest.raises(FileSystemError):
+            StreamWriter(s, buffer_size=0)
+        w = StreamWriter(s)
+        with pytest.raises(FileSystemError):
+            yield from w.write(-1)
+        yield from s.close()
+
+    run(engine, scenario())
+
+
+def test_streamreader_serves_from_buffer(engine, fs):
+    def scenario():
+        yield from fs.create("/f", size_bytes=2048)
+        s = yield from FileStream.open(fs, "/f", FileMode.OPEN)
+        r = StreamReader(s, buffer_size=1024)
+        got = yield from r.read(100)  # triggers one 1024-byte fs read
+        assert got == 100
+        reads_after_first = fs.op_times["read"].count
+        got2 = yield from r.read(100)  # from buffer, no fs read
+        assert got2 == 100
+        assert fs.op_times["read"].count == reads_after_first
+        yield from r.close()
+        return r.bytes_read
+
+    assert run(engine, scenario()) == 200
+
+
+def test_streamreader_eof(engine, fs):
+    def scenario():
+        yield from fs.create("/f", size_bytes=100)
+        s = yield from FileStream.open(fs, "/f", FileMode.OPEN)
+        r = StreamReader(s)
+        got = yield from r.read(1000)
+        assert got == 100
+        got2 = yield from r.read(10)
+        assert got2 == 0
+        yield from r.close()
+
+    run(engine, scenario())

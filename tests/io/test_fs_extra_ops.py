@@ -1,0 +1,117 @@
+"""Tests for rename / truncate / glob."""
+
+import pytest
+
+from repro.errors import FileExists, FileNotFound, FileSystemError
+from tests.io.conftest import run
+
+
+def test_rename_moves_namespace_entry(engine, fs):
+    run(engine, fs.create("/a.dat", size_bytes=5000))
+    run(engine, fs.rename("/a.dat", "/b.dat"))
+    assert not fs.exists("/a.dat")
+    assert fs.exists("/b.dat")
+    assert fs.size_of("/b.dat") == 5000
+    assert fs.stat("/b.dat").path == "/b.dat"
+    fs.check()
+
+
+def test_rename_keeps_cached_pages(engine, fs):
+    run(engine, fs.create("/a.dat", size_bytes=100_000))
+    ino = fs.stat("/a.dat")
+    run(engine, fs.cache.access(ino, 0, 2))
+    run(engine, fs.rename("/a.dat", "/b.dat"))
+    assert fs.cache.is_resident(fs.stat("/b.dat"), 0)
+
+
+def test_rename_collision_and_missing(engine, fs):
+    run(engine, fs.create("/a", size_bytes=10))
+    run(engine, fs.create("/b", size_bytes=10))
+    with pytest.raises(FileExists):
+        run(engine, fs.rename("/a", "/b"))
+    with pytest.raises(FileNotFound):
+        run(engine, fs.rename("/ghost", "/c"))
+
+
+def test_rename_open_handle_still_works(engine, fs):
+    def scenario():
+        h = yield from fs.open("/a", writable=True, create=True)
+        yield from fs.write(h, 1000)
+        yield from fs.rename("/a", "/b")
+        yield from fs.seek(h, 0)
+        got = yield from fs.read(h, 1000)
+        yield from fs.close(h)
+        return got
+
+    assert run(engine, scenario()) == 1000
+
+
+def test_truncate_shrinks_and_drops_pages(engine, fs):
+    def scenario():
+        h = yield from fs.open("/f", writable=True, create=True)
+        yield from fs.write(h, 10 * 4096)
+        yield from fs.read(h, 10 * 4096, offset=0)  # populate cache
+        yield from fs.truncate(h, 3 * 4096)
+        yield from fs.close(h)
+        return h.inode
+
+    ino = run(engine, scenario())
+    assert fs.size_of("/f") == 3 * 4096
+    resident = fs.cache.resident_pages_of(ino)
+    assert all(p < 3 for p in resident)
+    fs.check()
+
+
+def test_truncate_partial_page_boundary(engine, fs):
+    def scenario():
+        h = yield from fs.open("/f", writable=True, create=True)
+        yield from fs.write(h, 10_000)
+        yield from fs.truncate(h, 4097)  # keeps pages 0 and 1
+        return sorted(fs.cache.resident_pages_of(h.inode))
+
+    resident = run(engine, scenario())
+    assert all(p < 2 for p in resident)
+    assert fs.size_of("/f") == 4097
+
+
+def test_truncate_grow_allocates(engine, fs):
+    def scenario():
+        h = yield from fs.open("/f", writable=True, create=True)
+        yield from fs.truncate(h, 5 * 1024 * 1024)
+        yield from fs.close(h)
+
+    run(engine, scenario())
+    assert fs.size_of("/f") == 5 * 1024 * 1024
+    fs.check()
+
+
+def test_truncate_clamps_position(engine, fs):
+    def scenario():
+        h = yield from fs.open("/f", writable=True, create=True)
+        yield from fs.write(h, 10_000)
+        assert h.position == 10_000
+        yield from fs.truncate(h, 100)
+        return h.position
+
+    assert run(engine, scenario()) == 100
+
+
+def test_truncate_validation(engine, fs):
+    def scenario():
+        yield from fs.create("/f", size_bytes=100)
+        h = yield from fs.open("/f", writable=False)
+        with pytest.raises(FileSystemError):
+            yield from fs.truncate(h, 10)
+        h2 = yield from fs.open("/f", writable=True)
+        with pytest.raises(FileSystemError):
+            yield from fs.truncate(h2, -1)
+
+    run(engine, scenario())
+
+
+def test_glob(engine, fs):
+    for path in ("/logs/a", "/logs/b", "/data/x"):
+        run(engine, fs.create(path))
+    assert fs.glob("/logs/") == ["/logs/a", "/logs/b"]
+    assert fs.glob("/") == ["/data/x", "/logs/a", "/logs/b"]
+    assert fs.glob("/none") == []

@@ -1,0 +1,151 @@
+"""Tests for the distributed communication fabrics."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model import (
+    Application,
+    ApplicationExecutor,
+    CLUSTER_LINK,
+    FabricConfig,
+    MachineConfig,
+    PointToPointFabric,
+    Program,
+    WAN_LINK,
+    WorkingSet,
+    distributed_machine,
+)
+from repro.sim import Engine
+
+
+def comm_app(nprogs=3, gamma=0.8, total=1.0):
+    progs = [
+        Program(f"p{i}", [WorkingSet(0.0, gamma, 1.0, 1)], total)
+        for i in range(nprogs)
+    ]
+    return Application("comm-app", progs)
+
+
+def test_fabric_config_validation():
+    with pytest.raises(ModelError):
+        FabricConfig(pattern="starfish")
+    with pytest.raises(ModelError):
+        FabricConfig(link_bandwidth=0)
+    with pytest.raises(ModelError):
+        FabricConfig(link_latency=-1)
+    with pytest.raises(ModelError):
+        FabricConfig(chunk=0)
+
+
+def test_fabric_link_management():
+    eng = Engine()
+    fabric = PointToPointFabric(eng, 4, FabricConfig())
+    a = fabric.link(0, 1)
+    assert fabric.link(0, 1) is a          # cached
+    assert fabric.link(1, 0) is not a      # directed
+    assert fabric.links_created == 2
+    with pytest.raises(ModelError):
+        fabric.link(0, 0)
+    with pytest.raises(ModelError):
+        fabric.link(0, 9)
+    with pytest.raises(ModelError):
+        PointToPointFabric(eng, 0, FabricConfig())
+
+
+@pytest.mark.parametrize("pattern", ["ring", "all", "master"])
+def test_patterns_complete_and_move_bytes(pattern):
+    eng = Engine()
+    fabric = PointToPointFabric(eng, 3, FabricConfig(pattern=pattern))
+
+    def burst(node):
+        yield from fabric.transmit(node, 1_000_000)
+
+    for node in range(3):
+        eng.process(burst(node))
+    eng.run()
+    total = sum(ch.bytes_sent for ch in fabric._links.values())
+    assert total > 0
+    if pattern == "ring":
+        # Exactly one outgoing link per node, full burst each.
+        assert fabric.links_created == 3
+        assert total == 3 * 1_000_000
+
+
+def test_single_node_fabric_is_loopback():
+    eng = Engine()
+    fabric = PointToPointFabric(eng, 1, FabricConfig())
+
+    def burst():
+        yield from fabric.transmit(0, 10_000_000)
+
+    eng.process(burst())
+    eng.run()
+    assert fabric.links_created == 0
+    assert eng.now == pytest.approx(10_000_000 / CLUSTER_LINK[0])
+
+
+def test_dedicated_links_beat_shared_switch_under_contention():
+    """Three comm-heavy programs: the shared channel serializes their
+    bursts, a point-to-point ring lets them overlap."""
+    app = comm_app(nprogs=3, gamma=1.0, total=1.0)
+    shared = ApplicationExecutor(app, MachineConfig()).run()
+    ring = ApplicationExecutor(app, distributed_machine(pattern="ring")).run()
+    assert ring.makespan < 0.6 * shared.makespan
+
+
+def test_wan_links_slow_communication_down():
+    app = comm_app(nprogs=3, gamma=1.0, total=0.2)
+    lan = ApplicationExecutor(app, distributed_machine(link=CLUSTER_LINK)).run()
+    wan = ApplicationExecutor(app, distributed_machine(link=WAN_LINK)).run()
+    assert wan.makespan > 3 * lan.makespan
+
+
+def test_all_pattern_splits_burst_across_peers():
+    eng = Engine()
+    fabric = PointToPointFabric(eng, 5, FabricConfig(pattern="all"))
+
+    def burst():
+        yield from fabric.transmit(2, 4_000_000)
+
+    eng.process(burst())
+    eng.run()
+    # Four peers, one outgoing link each, equal shares.
+    assert fabric.links_created == 4
+    shares = {ch.bytes_sent for ch in fabric._links.values()}
+    assert shares == {1_000_000}
+
+
+def test_master_pattern_directions():
+    eng = Engine()
+    fabric = PointToPointFabric(eng, 3, FabricConfig(pattern="master"))
+
+    def worker(node):
+        yield from fabric.transmit(node, 1000)
+
+    def master():
+        yield from fabric.transmit(0, 1000)
+
+    eng.process(worker(1))
+    eng.process(worker(2))
+    eng.process(master())
+    eng.run()
+    keys = set(fabric._links)
+    assert (1, 0) in keys and (2, 0) in keys       # workers → master
+    assert (0, 1) in keys and (0, 2) in keys       # broadcast
+
+
+def test_distributed_machine_preserves_other_settings():
+    base = MachineConfig(cpus=4, disks=2)
+    machine = distributed_machine(base, pattern="all")
+    assert machine.cpus == 4
+    assert machine.disks == 2
+    assert machine.fabric_factory is not None
+
+
+def test_io_only_app_unaffected_by_fabric_choice():
+    app = Application(
+        "io-app", [Program("p", [WorkingSet(0.9, 0.0, 1.0, 2)], 0.5)]
+    )
+    shared = ApplicationExecutor(app, MachineConfig()).run()
+    dist = ApplicationExecutor(app, distributed_machine(link=WAN_LINK)).run()
+    assert dist.makespan == pytest.approx(shared.makespan)

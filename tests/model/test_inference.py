@@ -1,0 +1,105 @@
+"""Tests for working-set inference (phases → Γ vectors)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.model import (
+    Phase,
+    Program,
+    WorkingSet,
+    build_qcrd,
+    infer_working_sets,
+    program_from_phases,
+)
+
+
+def test_identical_phases_collapse_to_one_set():
+    phases = [Phase(0.5, 0.1, 2.0)] * 4
+    sets = infer_working_sets(phases, total_time=8.0)
+    assert len(sets) == 1
+    ws = sets[0]
+    assert ws.tau == 4
+    assert ws.phi == pytest.approx(0.5)
+    assert ws.gamma == pytest.approx(0.1)
+    assert ws.rho == pytest.approx(0.25)
+
+
+def test_distinct_phases_stay_separate():
+    phases = [Phase(0.9, 0.0, 1.0), Phase(0.1, 0.0, 1.0), Phase(0.9, 0.0, 1.0)]
+    sets = infer_working_sets(phases, total_time=3.0)
+    # Not consecutive → three groups even though first and third match.
+    assert [ws.tau for ws in sets] == [1, 1, 1]
+
+
+def test_tolerance_merges_near_identical():
+    phases = [Phase(0.50, 0.0, 1.0), Phase(0.505, 0.0, 1.004)]
+    assert len(infer_working_sets(phases, 2.0, tolerance=0.02)) == 1
+    assert len(infer_working_sets(phases, 2.0, tolerance=0.001)) == 2
+
+
+def test_validation():
+    with pytest.raises(ModelError):
+        infer_working_sets([], 1.0)
+    with pytest.raises(ModelError):
+        infer_working_sets([Phase(0, 0, 1.0)], 0.0)
+    with pytest.raises(ModelError):
+        infer_working_sets([Phase(0, 0, 1.0)], 1.0, tolerance=-1)
+    with pytest.raises(ModelError):
+        program_from_phases("p", [])
+
+
+def test_qcrd_roundtrip():
+    """Expanding QCRD's programs to phases and inferring back recovers
+    the published working-set structure."""
+    app = build_qcrd()
+    p1 = app.programs[0]
+    inferred = infer_working_sets(p1.phases(), total_time=p1.total_time)
+    # The 24 alternating phases collapse back into 24 single-phase sets
+    # (odd/even never adjacent-identical).
+    assert len(inferred) == 24
+    assert all(ws.tau == 1 for ws in inferred)
+    assert inferred[0].phi == pytest.approx(0.14)
+    assert inferred[1].phi == pytest.approx(0.97)
+
+    p2 = app.programs[1]
+    inferred2 = infer_working_sets(p2.phases(), total_time=p2.total_time)
+    # The 13 identical phases collapse into one Γ with τ=13.
+    assert len(inferred2) == 1
+    assert inferred2[0].tau == 13
+    assert inferred2[0].phi == pytest.approx(0.92)
+
+
+def test_program_from_phases_reproduces_requirements():
+    original = Program(
+        "orig",
+        [WorkingSet(0.3, 0.1, 0.2, 3), WorkingSet(0.8, 0.0, 0.4, 1)],
+        total_time=50.0,
+    )
+    rebuilt = program_from_phases("rebuilt", original.phases())
+    assert rebuilt.execution_time == pytest.approx(original.execution_time)
+    assert rebuilt.disk_requirement == pytest.approx(original.disk_requirement)
+    assert rebuilt.comm_requirement == pytest.approx(original.comm_requirement)
+    assert rebuilt.cpu_requirement == pytest.approx(original.cpu_requirement)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=0.8),
+            st.floats(min_value=0.1, max_value=10.0),
+            st.integers(min_value=1, max_value=5),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_inference_roundtrip_property(groups):
+    """Property: any working-set structure survives expand → infer,
+    preserving total requirements."""
+    sets = [WorkingSet(phi, 0.0, rho, tau) for phi, rho, tau in groups]
+    prog = Program("p", sets, total_time=100.0)
+    rebuilt = program_from_phases("r", prog.phases(), tolerance=1e-9)
+    assert rebuilt.execution_time == pytest.approx(prog.execution_time, rel=1e-9)
+    assert rebuilt.disk_requirement == pytest.approx(prog.disk_requirement, rel=1e-6)
+    assert rebuilt.phase_count == prog.phase_count

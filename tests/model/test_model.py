@@ -1,0 +1,205 @@
+"""Tests for Phase / WorkingSet / Program / Application."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ModelError
+from repro.model import Application, Phase, Program, WorkingSet
+
+
+# ---------------------------------------------------------------------------
+# Phase (Eq. 1)
+# ---------------------------------------------------------------------------
+
+def test_phase_decomposition():
+    p = Phase(io_fraction=0.3, comm_fraction=0.2, duration=10.0)
+    assert p.cpu_fraction == pytest.approx(0.5)
+    assert p.io_time == pytest.approx(3.0)
+    assert p.comm_time == pytest.approx(2.0)
+    assert p.cpu_time == pytest.approx(5.0)
+    # Eq. 1: T = T_CPU + T_COM + T_Disk.
+    assert p.cpu_time + p.comm_time + p.io_time == pytest.approx(p.duration)
+
+
+def test_phase_validation():
+    with pytest.raises(ModelError):
+        Phase(-0.1, 0.0, 1.0)
+    with pytest.raises(ModelError):
+        Phase(0.0, 1.1, 1.0)
+    with pytest.raises(ModelError):
+        Phase(0.6, 0.6, 1.0)  # φ + γ > 1
+    with pytest.raises(ModelError):
+        Phase(0.1, 0.1, 0.0)
+
+
+@given(
+    st.floats(min_value=0, max_value=1),
+    st.floats(min_value=0, max_value=1),
+    st.floats(min_value=1e-6, max_value=1e6),
+)
+def test_phase_decomposition_property(phi, gamma, duration):
+    if phi + gamma > 1.0:
+        return
+    p = Phase(phi, gamma, duration)
+    assert p.io_time + p.comm_time + p.cpu_time == pytest.approx(p.duration, rel=1e-9)
+    assert p.cpu_fraction >= 0
+
+
+# ---------------------------------------------------------------------------
+# WorkingSet (Eq. 7)
+# ---------------------------------------------------------------------------
+
+def test_working_set_expansion():
+    ws = WorkingSet(phi=0.5, gamma=0.1, rho=0.2, tau=3)
+    phases = ws.phases(program_total_time=100.0)
+    assert len(phases) == 3
+    for p in phases:
+        assert p.duration == pytest.approx(20.0)
+        assert p.io_fraction == 0.5
+    assert ws.relative_time == pytest.approx(0.6)
+
+
+def test_working_set_scaling():
+    ws = WorkingSet(phi=0.0, gamma=0.0, rho=0.5, tau=2)
+    phases = ws.phases(100.0, scale=0.5)
+    assert all(p.duration == pytest.approx(25.0) for p in phases)
+
+
+def test_working_set_validation():
+    with pytest.raises(ModelError):
+        WorkingSet(phi=1.5, gamma=0, rho=0.1)
+    with pytest.raises(ModelError):
+        WorkingSet(phi=0.5, gamma=0.6, rho=0.1)
+    with pytest.raises(ModelError):
+        WorkingSet(phi=0.1, gamma=0, rho=0.0)
+    with pytest.raises(ModelError):
+        WorkingSet(phi=0.1, gamma=0, rho=0.1, tau=0)
+    with pytest.raises(ModelError):
+        WorkingSet(phi=0.1, gamma=0, rho=0.1, tau=1.5)  # type: ignore[arg-type]
+    with pytest.raises(ModelError):
+        WorkingSet(phi=0.1, gamma=0, rho=0.1).phases(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Program (Eqs. 2-6)
+# ---------------------------------------------------------------------------
+
+def fig1_program():
+    """The paper's Figure 1 example: Γ = [(0.52, 0.29, 0.287, 1),
+    (0, 0.85, 0.185, 2), (0, 0.57, 0.194, 1), (0.81, 0, 0.148, 1)]."""
+    return Program(
+        "fig1",
+        [
+            WorkingSet(0.52, 0.29, 0.287, 1),
+            WorkingSet(0.0, 0.85, 0.185, 2),
+            WorkingSet(0.0, 0.57, 0.194, 1),
+            WorkingSet(0.81, 0.0, 0.148, 1),
+        ],
+        total_time=100.0,
+        normalize=False,
+    )
+
+
+def test_fig1_example_relative_times_sum_to_one():
+    prog = fig1_program()
+    assert sum(ws.relative_time for ws in prog.working_sets) == pytest.approx(
+        0.999, abs=1e-9
+    )
+    assert prog.phase_count == 5
+
+
+def test_fig1_example_requirements():
+    prog = fig1_program()
+    # Hand-computed from the paper's vector (T = 100 s reference):
+    # R_Disk = 0.52·28.7 + 0.81·14.8 = 26.912
+    assert prog.disk_requirement == pytest.approx(26.912, rel=1e-9)
+    # R_COM = 0.29·28.7 + 0.85·18.5·2 + 0.57·19.4 = 50.831
+    assert prog.comm_requirement == pytest.approx(50.831, rel=1e-9)
+    # Eq. 2 consistency.
+    assert prog.execution_time == pytest.approx(
+        prog.cpu_requirement + prog.disk_requirement + prog.comm_requirement
+    )
+
+
+def test_program_normalization():
+    ws = WorkingSet(0.5, 0.0, 0.25, 2)  # Σρτ = 0.5 → scaled ×2
+    prog = Program("p", [ws], total_time=100.0, normalize=True)
+    assert prog.execution_time == pytest.approx(100.0)
+    phases = prog.phases()
+    assert all(p.duration == pytest.approx(50.0) for p in phases)
+
+
+def test_program_without_normalization_keeps_printed_rho():
+    ws = WorkingSet(0.5, 0.0, 0.25, 2)
+    prog = Program("p", [ws], total_time=100.0, normalize=False)
+    assert prog.execution_time == pytest.approx(50.0)
+
+
+def test_program_validation():
+    with pytest.raises(ModelError):
+        Program("p", [], 100.0)
+    with pytest.raises(ModelError):
+        Program("p", [WorkingSet(0.1, 0, 0.1)], 0.0)
+
+
+def test_program_percentages_sum_to_100():
+    prog = fig1_program()
+    assert prog.io_percentage + prog.cpu_percentage + prog.comm_percentage == (
+        pytest.approx(100.0)
+    )
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=0.9),
+            st.floats(min_value=0.01, max_value=1.0),
+            st.integers(min_value=1, max_value=5),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    st.floats(min_value=1.0, max_value=1000.0),
+)
+def test_program_normalized_tiles_total_time(sets, total):
+    """Property: with normalize=True, phases always tile total_time and
+    Eqs. 3+4+5 always reconstruct Eq. 2."""
+    wss = [WorkingSet(phi, 0.0, rho, tau) for phi, rho, tau in sets]
+    prog = Program("p", wss, total)
+    assert prog.execution_time == pytest.approx(total, rel=1e-9)
+    assert prog.cpu_requirement + prog.disk_requirement + prog.comm_requirement == (
+        pytest.approx(prog.execution_time, rel=1e-9)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Application (Eq. 8)
+# ---------------------------------------------------------------------------
+
+def test_application_aggregates():
+    p1 = Program("a", [WorkingSet(0.5, 0, 1.0, 1)], 10.0)
+    p2 = Program("b", [WorkingSet(0.0, 0, 1.0, 1)], 30.0)
+    app = Application("app", [p1, p2])
+    assert app.execution_time == pytest.approx(40.0)
+    assert app.disk_requirement == pytest.approx(5.0)
+    assert app.cpu_requirement == pytest.approx(35.0)
+    assert app.io_percentage == pytest.approx(12.5)
+    assert app.program("a") is p1
+    with pytest.raises(ModelError):
+        app.program("c")
+
+
+def test_application_validation():
+    with pytest.raises(ModelError):
+        Application("empty", [])
+    p = Program("a", [WorkingSet(0, 0, 1.0, 1)], 1.0)
+    with pytest.raises(ModelError):
+        Application("dup", [p, p])
+
+
+def test_requirements_table_shape():
+    p1 = Program("a", [WorkingSet(0.5, 0, 1.0, 1)], 10.0)
+    app = Application("app", [p1])
+    table = app.requirements_table()
+    assert set(table) == {"a", "app"}
+    assert set(table["a"]) == {"cpu", "io", "comm", "total"}

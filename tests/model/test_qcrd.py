@@ -1,0 +1,65 @@
+"""Tests for the QCRD instantiation (paper §2.2, Eqs. 8-10)."""
+
+import pytest
+
+from repro.model import build_qcrd
+from repro.model.qcrd import P1_EVEN, P1_ODD, P2
+
+
+def test_qcrd_structure_matches_eq_8():
+    app = build_qcrd()
+    assert app.name == "QCRD"
+    assert [p.name for p in app.programs] == ["Program1", "Program2"]
+
+
+def test_program1_matches_eq_9():
+    app = build_qcrd()
+    p1 = app.programs[0]
+    # 24 working sets, alternating odd/even parameters.
+    assert len(p1.working_sets) == 24
+    assert p1.phase_count == 24
+    for i, ws in enumerate(p1.working_sets):
+        expected = P1_ODD if i % 2 == 0 else P1_EVEN
+        assert ws.phi == expected.phi
+        assert ws.rho == expected.rho
+        assert ws.gamma == 0.0
+
+
+def test_program2_matches_eq_10():
+    app = build_qcrd()
+    p2 = app.programs[1]
+    assert len(p2.working_sets) == 1
+    ws = p2.working_sets[0]
+    assert ws.phi == 0.92
+    assert ws.gamma == 0.0
+    assert ws.rho == 0.03
+    assert ws.tau == 13
+    assert p2.phase_count == 13
+
+
+def test_program2_more_io_intensive_than_program1():
+    """The paper's observation from Figures 2-3."""
+    app = build_qcrd()
+    p1, p2 = app.programs
+    assert p2.io_percentage > p1.io_percentage
+    assert p2.io_percentage > 90.0
+    assert p1.io_percentage < 30.0
+
+
+def test_program1_runs_longer():
+    """'the first program runs longer than the second program'."""
+    app = build_qcrd()
+    p1, p2 = app.programs
+    assert p1.execution_time > p2.execution_time
+
+
+def test_application_is_io_heavy():
+    """Figure 3: the application spends a noticeably large share on I/O."""
+    app = build_qcrd()
+    assert 30.0 < app.io_percentage < 60.0
+
+
+def test_custom_durations():
+    app = build_qcrd(p1_total_time=200.0, p2_total_time=10.0)
+    assert app.programs[0].execution_time == pytest.approx(200.0)
+    assert app.programs[1].execution_time == pytest.approx(10.0)

@@ -1,0 +1,104 @@
+"""Tests for AllOf / AnyOf condition events."""
+
+import pytest
+
+from repro.sim import Engine
+
+
+def test_all_of_waits_for_slowest():
+    eng = Engine()
+    done_at = []
+
+    def proc():
+        evs = [eng.timeout(1.0, value="a"), eng.timeout(3.0, value="b")]
+        values = yield eng.all_of(evs)
+        done_at.append(eng.now)
+        assert sorted(values.values()) == ["a", "b"]
+
+    eng.process(proc())
+    eng.run()
+    assert done_at == [3.0]
+
+
+def test_any_of_fires_on_fastest():
+    eng = Engine()
+    done_at = []
+
+    def proc():
+        fast = eng.timeout(1.0, value="fast")
+        slow = eng.timeout(9.0, value="slow")
+        values = yield eng.any_of([fast, slow])
+        done_at.append(eng.now)
+        assert values == {fast: "fast"}
+
+    eng.process(proc())
+    eng.run()
+    assert done_at == [1.0]
+
+
+def test_all_of_empty_succeeds_immediately():
+    eng = Engine()
+    got = []
+
+    def proc():
+        values = yield eng.all_of([])
+        got.append((eng.now, values))
+
+    eng.process(proc())
+    eng.run()
+    assert got == [(0.0, {})]
+
+
+def test_all_of_propagates_failure():
+    eng = Engine()
+    caught = []
+    gate = eng.event()
+
+    def proc():
+        try:
+            yield eng.all_of([eng.timeout(5.0), gate])
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer():
+        yield eng.timeout(1.0)
+        gate.fail(RuntimeError("bad"))
+
+    eng.process(proc())
+    eng.process(failer())
+    eng.run()
+    assert caught == ["bad"]
+
+
+def test_all_of_with_pretriggered_events():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed("pre")
+    got = []
+
+    def proc():
+        values = yield eng.all_of([ev, eng.timeout(2.0, value="late")])
+        got.append(sorted(values.values()))
+
+    eng.process(proc())
+    eng.run()
+    assert got == [["late", "pre"]]
+
+
+def test_any_of_with_processes():
+    eng = Engine()
+
+    def child(t, tag):
+        yield eng.timeout(t)
+        return tag
+
+    def parent():
+        a = eng.process(child(4.0, "slow"))
+        b = eng.process(child(1.0, "quick"))
+        values = yield eng.any_of([a, b])
+        assert list(values.values()) == ["quick"]
+        return eng.now
+
+    p = eng.process(parent())
+    eng.run()
+    assert p.value == 1.0

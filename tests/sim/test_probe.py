@@ -1,0 +1,121 @@
+"""Tests for the instrumentation probe and its component wiring."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.io import FileSystem
+from repro.sim import Engine, NULL_PROBE, NullProbe, Probe
+from repro.storage import Disk, DiskGeometry
+
+
+def test_null_probe_discards():
+    NULL_PROBE.record("x", "y", a=1)  # must not raise or store anything
+    assert not NULL_PROBE.enabled
+    assert not NULL_PROBE.wants("anything")
+
+
+def test_probe_records_with_timestamps():
+    eng = Engine()
+    probe = Probe(eng)
+
+    def proc():
+        probe.record("test", "start")
+        yield eng.timeout(2.5)
+        probe.record("test", "end", value=42)
+
+    eng.process(proc())
+    eng.run()
+    assert len(probe) == 2
+    assert probe.entries[0].time == 0.0
+    assert probe.entries[1].time == 2.5
+    assert probe.entries[1].fields == {"value": 42}
+
+
+def test_probe_category_filter():
+    eng = Engine()
+    probe = Probe(eng, categories={"keep"})
+    probe.record("keep", "a")
+    probe.record("drop", "b")
+    assert [e.message for e in probe.entries] == ["a"]
+    assert probe.wants("keep") and not probe.wants("drop")
+
+
+def test_probe_capacity_drops_oldest():
+    eng = Engine()
+    probe = Probe(eng, capacity=3)
+    for i in range(5):
+        probe.record("c", f"m{i}")
+    assert [e.message for e in probe.entries] == ["m2", "m3", "m4"]
+    assert probe.dropped == 2
+    with pytest.raises(SimulationError):
+        Probe(eng, capacity=0)
+
+
+def test_probe_queries_and_render():
+    eng = Engine()
+    probe = Probe(eng)
+    probe.record("a", "first", x=1)
+
+    def proc():
+        yield eng.timeout(1.0)
+        probe.record("b", "second")
+
+    eng.process(proc())
+    eng.run()
+    assert len(probe.by_category("a")) == 1
+    assert len(probe.between(0.5, 2.0)) == 1
+    text = probe.render()
+    assert "first" in text and "x=1" in text
+    probe.clear()
+    assert len(probe) == 0
+
+
+def test_disk_emits_probe_events():
+    eng = Engine()
+    probe = Probe(eng)
+    disk = Disk(
+        eng,
+        geometry=DiskGeometry(cylinders=100, heads=2, sectors_per_track=10),
+        probe=probe,
+    )
+    disk.submit_range(0, 4)
+    eng.run()
+    messages = [e.message for e in probe.by_category("disk")]
+    assert any("submit" in m for m in messages)
+    assert any("complete" in m for m in messages)
+
+
+def test_fs_and_cache_emit_probe_events():
+    eng = Engine()
+    probe = Probe(eng)
+    disk = Disk(
+        eng,
+        geometry=DiskGeometry(cylinders=1000, heads=2, sectors_per_track=40),
+        probe=probe,
+    )
+    fs = FileSystem(eng, disk, probe=probe)
+
+    def scenario():
+        yield from fs.create("/f", size_bytes=100_000)
+        h = yield from fs.open("/f")
+        yield from fs.read(h, 8192)
+        yield from fs.close(h)
+
+    eng.run_process(scenario())
+    fs_ops = {e.message for e in probe.by_category("fs")}
+    assert {"open", "read", "close"} <= fs_ops
+    cache_msgs = [e.message for e in probe.by_category("cache")]
+    assert "prefetch" in cache_msgs  # the open-prefetch
+    # Events are time-ordered.
+    times = [e.time for e in probe.entries]
+    assert times == sorted(times)
+
+
+def test_probe_off_by_default_costs_nothing():
+    """Components default to the shared NullProbe instance."""
+    eng = Engine()
+    disk = Disk(eng, geometry=DiskGeometry(cylinders=100, heads=2, sectors_per_track=10))
+    assert isinstance(disk.probe, NullProbe)
+    fs = FileSystem(eng, disk)
+    assert isinstance(fs.probe, NullProbe)
+    assert isinstance(fs.cache.probe, NullProbe)

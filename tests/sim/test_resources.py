@@ -1,0 +1,225 @@
+"""Tests for Resource / Store / Channel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Channel, Engine, Resource, Store
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_grants_up_to_capacity_immediately():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    granted = []
+
+    def proc(tag):
+        req = res.acquire()
+        yield req
+        granted.append((tag, eng.now))
+        yield eng.timeout(10.0)
+        res.release(req)
+
+    for tag in ("a", "b", "c"):
+        eng.process(proc(tag))
+    eng.run()
+    # a and b at t=0, c waits until one of them releases at t=10
+    assert granted == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+
+def test_resource_fifo_order():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    order = []
+
+    def proc(tag, hold):
+        req = res.acquire()
+        yield req
+        order.append(tag)
+        yield eng.timeout(hold)
+        res.release(req)
+
+    for tag in ("first", "second", "third"):
+        eng.process(proc(tag, 1.0))
+    eng.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_resource_counts():
+    eng = Engine()
+    res = Resource(eng, capacity=3)
+    reqs = [res.acquire() for _ in range(5)]
+    eng.run()
+    assert res.in_use == 3
+    assert res.available == 0
+    assert res.queued == 2
+    res.release(reqs[0])
+    assert res.in_use == 3  # slot transferred to a waiter
+    assert res.queued == 1
+
+
+def test_resource_release_foreign_request_rejected():
+    eng = Engine()
+    res1 = Resource(eng, capacity=1)
+    res2 = Resource(eng, capacity=1)
+    req = res1.acquire()
+    with pytest.raises(SimulationError):
+        res2.release(req)
+
+
+def test_resource_release_queued_request_cancels():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    first = res.acquire()
+    second = res.acquire()  # queued
+    assert res.queued == 1
+    res.release(second)  # cancel while queued
+    assert res.queued == 0
+    assert res.in_use == 1
+    res.release(first)
+    assert res.in_use == 0
+
+
+def test_resource_capacity_validation():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        Resource(eng, capacity=0)
+
+
+def test_resource_utilization_tracked():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+
+    def proc():
+        req = res.acquire()
+        yield req
+        yield eng.timeout(5.0)
+        res.release(req)
+        yield eng.timeout(5.0)
+
+    eng.process(proc())
+    eng.run()
+    assert res.utilization.mean() == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_put_then_get():
+    eng = Engine()
+    store = Store(eng)
+    store.put("x")
+    got = []
+
+    def proc():
+        item = yield store.get()
+        got.append(item)
+
+    eng.process(proc())
+    eng.run()
+    assert got == ["x"]
+
+
+def test_store_get_blocks_until_put():
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((eng.now, item))
+
+    def producer():
+        yield eng.timeout(4.0)
+        store.put("late")
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert got == [(4.0, "late")]
+
+
+def test_store_fifo_items_and_getters():
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def consumer(tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    eng.process(consumer("c1"))
+    eng.process(consumer("c2"))
+
+    def producer():
+        yield eng.timeout(1.0)
+        store.put("i1")
+        store.put("i2")
+
+    eng.process(producer())
+    eng.run()
+    assert got == [("c1", "i1"), ("c2", "i2")]
+
+
+def test_store_count():
+    eng = Engine()
+    store = Store(eng)
+    store.put(1)
+    store.put(2)
+    assert store.count == 2
+
+
+# ---------------------------------------------------------------------------
+# Channel
+# ---------------------------------------------------------------------------
+
+def test_channel_transfer_time():
+    eng = Engine()
+    ch = Channel(eng, bandwidth=100.0, latency=0.5)
+    assert ch.transfer_time(200) == pytest.approx(0.5 + 2.0)
+
+
+def test_channel_send_takes_latency_plus_transmission():
+    eng = Engine()
+    ch = Channel(eng, bandwidth=1000.0, latency=0.1)
+
+    def proc():
+        yield from ch.send(500)
+        return eng.now
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.value == pytest.approx(0.1 + 0.5)
+    assert ch.bytes_sent == 500
+    assert ch.transfers == 1
+
+
+def test_channel_serializes_transmission_but_pipelines_latency():
+    eng = Engine()
+    ch = Channel(eng, bandwidth=100.0, latency=1.0)
+    finish = {}
+
+    def sender(tag):
+        yield from ch.send(100)  # 1s transmission + 1s latency
+        finish[tag] = eng.now
+
+    eng.process(sender("a"))
+    eng.process(sender("b"))
+    eng.run()
+    # a: transmit 0-1, arrive 2.  b: transmit 1-2, arrive 3.
+    assert finish["a"] == pytest.approx(2.0)
+    assert finish["b"] == pytest.approx(3.0)
+
+
+def test_channel_validation():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        Channel(eng, bandwidth=0.0)
+    with pytest.raises(SimulationError):
+        Channel(eng, bandwidth=1.0, latency=-1.0)
+    ch = Channel(eng, bandwidth=1.0)
+    with pytest.raises(SimulationError):
+        ch.transfer_time(-5)

@@ -1,0 +1,95 @@
+"""Tests for the statistics collectors."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Counter, Engine, Histogram, Tally, TimeWeighted
+
+
+def test_counter_basic():
+    c = Counter("reqs")
+    c.add()
+    c.add(4)
+    assert c.value == 5
+    with pytest.raises(SimulationError):
+        c.add(-1)
+
+
+def test_tally_statistics():
+    t = Tally()
+    t.extend([1.0, 2.0, 3.0, 4.0])
+    assert t.count == 4
+    assert t.total == 10.0
+    assert t.mean == 2.5
+    assert t.minimum == 1.0
+    assert t.maximum == 4.0
+    assert t.percentile(50) == pytest.approx(2.5)
+    assert t.std == pytest.approx(1.1180339887, rel=1e-9)
+
+
+def test_tally_empty_raises():
+    t = Tally()
+    for attr in ("mean", "minimum", "maximum", "std"):
+        with pytest.raises(SimulationError):
+            getattr(t, attr)
+    with pytest.raises(SimulationError):
+        t.percentile(50)
+
+
+def test_tally_values_is_copy():
+    t = Tally()
+    t.record(1.0)
+    vals = t.values
+    vals.append(99.0)
+    assert t.count == 1
+
+
+def test_time_weighted_mean():
+    eng = Engine()
+    tw = TimeWeighted(eng, initial=0.0)
+
+    def proc():
+        yield eng.timeout(2.0)
+        tw.record(1.0)
+        yield eng.timeout(2.0)
+        tw.record(0.0)
+        yield eng.timeout(4.0)
+
+    eng.process(proc())
+    eng.run()
+    # value 0 for 2s, 1 for 2s, 0 for 4s → mean = 2/8
+    assert tw.mean() == pytest.approx(0.25)
+    assert tw.maximum == 1.0
+    assert tw.current == 0.0
+
+
+def test_time_weighted_zero_span():
+    eng = Engine()
+    tw = TimeWeighted(eng, initial=3.0)
+    assert tw.mean() == 3.0  # no time elapsed → current value
+
+
+def test_histogram_binning():
+    h = Histogram(0.0, 10.0, bins=10)
+    for v in [0.5, 1.5, 1.6, 9.99, -1.0, 10.0, 50.0]:
+        h.record(v)
+    assert h.count == 7
+    assert h.underflow == 1
+    assert h.overflow == 2
+    assert h.counts[0] == 1
+    assert h.counts[1] == 2
+    assert h.counts[9] == 1
+    assert h.mode_bin() == 1
+
+
+def test_histogram_edges_and_validation():
+    h = Histogram(0.0, 1.0, bins=4)
+    edges = h.bin_edges()
+    assert len(edges) == 5
+    assert edges[0] == 0.0 and edges[-1] == 1.0
+    with pytest.raises(SimulationError):
+        Histogram(0.0, 1.0, bins=0)
+    with pytest.raises(SimulationError):
+        Histogram(1.0, 1.0, bins=2)
+    with pytest.raises(SimulationError):
+        Histogram(0.0, 1.0, bins=3).mode_bin()

@@ -1,0 +1,68 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Probe
+from repro.sim.timeline import bucket_counts, render_timeline
+
+
+def make_probe():
+    eng = Engine()
+    probe = Probe(eng)
+
+    def proc():
+        for i in range(10):
+            probe.record("disk", "op")
+            if i % 2 == 0:
+                probe.record("cache", "op")
+            yield eng.timeout(1.0)
+
+    eng.process(proc())
+    eng.run()
+    return probe
+
+
+def test_bucket_counts_shape():
+    probe = make_probe()
+    counts, lo, hi = bucket_counts(probe.entries, buckets=10)
+    assert set(counts) == {"disk", "cache"}
+    assert len(counts["disk"]) == 10
+    assert sum(counts["disk"]) == 10
+    assert sum(counts["cache"]) == 5
+    assert lo == 0.0 and hi == 9.0
+
+
+def test_bucket_counts_explicit_window():
+    probe = make_probe()
+    counts, lo, hi = bucket_counts(probe.entries, buckets=5, start=0.0, end=4.0)
+    assert sum(counts["disk"]) == 5  # events at t=0..4 inclusive
+
+
+def test_bucket_counts_validation():
+    probe = make_probe()
+    with pytest.raises(SimulationError):
+        bucket_counts(probe.entries, buckets=0)
+    with pytest.raises(SimulationError):
+        bucket_counts([], buckets=5)
+
+
+def test_render_timeline():
+    probe = make_probe()
+    text = render_timeline(probe, buckets=10)
+    lines = text.splitlines()
+    assert "timeline:" in lines[0]
+    assert len(lines) == 3  # header + 2 categories
+    # Rows aligned: both pipe-delimited cells are equally wide.
+    cells = [line.split("|")[1] for line in lines[1:]]
+    assert len(cells[0]) == len(cells[1]) == 10
+    # The disk row (denser) uses heavier glyphs than blank.
+    assert any(ch != " " for ch in cells[0])
+
+
+def test_render_single_instant():
+    eng = Engine()
+    probe = Probe(eng)
+    probe.record("x", "only")
+    text = render_timeline(probe, buckets=4)
+    assert "x" in text

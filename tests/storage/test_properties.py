@@ -1,0 +1,102 @@
+"""Property-based tests for the storage layer's timing invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Engine
+from repro.storage import Disk, DiskGeometry, DiskParams, IORequest
+
+GEO = DiskGeometry(cylinders=5000, heads=4, sectors_per_track=100)
+
+
+def make_disk(**kw):
+    return Disk(Engine(), geometry=GEO, **kw)
+
+
+@given(
+    st.integers(min_value=0, max_value=GEO.cylinders - 1),
+    st.integers(min_value=0, max_value=GEO.cylinders - 1),
+)
+def test_seek_time_symmetric_and_bounded(a, b):
+    d = make_disk()
+    t_ab = d.seek_time(a, b)
+    assert t_ab == d.seek_time(b, a)
+    assert 0.0 <= t_ab <= d.params.seek_full_stroke + 1e-12
+    if a != b:
+        assert t_ab >= d.params.seek_track_to_track
+
+
+@given(
+    st.integers(min_value=0, max_value=GEO.cylinders - 1),
+    st.integers(min_value=0, max_value=GEO.cylinders - 1),
+    st.integers(min_value=0, max_value=GEO.cylinders - 1),
+)
+def test_seek_time_triangle_like_monotonicity(start, near, far):
+    """Seeking farther from the same start never costs less."""
+    d = make_disk()
+    if abs(near - start) > abs(far - start):
+        near, far = far, near
+    assert d.seek_time(start, near) <= d.seek_time(start, far) + 1e-15
+
+
+@given(st.integers(min_value=1, max_value=10_000))
+def test_transfer_time_linear(nblocks):
+    d = make_disk()
+    one = d.transfer_time(1)
+    assert d.transfer_time(nblocks) == pytest.approx(nblocks * one, rel=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=GEO.total_blocks - 64),
+            st.integers(min_value=1, max_value=64),
+        ),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_service_time_at_least_floor_cost(requests):
+    """Property: every completed request's service time covers at
+    least controller overhead + its transfer; response ≥ service."""
+    eng = Engine()
+    d = Disk(eng, geometry=GEO)
+    events = [d.submit(IORequest(lba=lba, nblocks=n)) for lba, n in requests]
+
+    def waiter():
+        yield eng.all_of(events)
+
+    eng.run_process(waiter())
+    for ev, (lba, n) in zip(events, requests):
+        req = ev.value
+        floor = d.params.controller_overhead + d.transfer_time(n)
+        assert req.service_time >= floor - 1e-12
+        assert req.response_time >= req.service_time - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=GEO.total_blocks - 8),
+        min_size=1,
+        max_size=15,
+    ),
+    st.sampled_from(["fcfs", "sstf", "scan", "cscan"]),
+)
+def test_disk_timing_deterministic_across_runs(lbas, scheduler):
+    """Property: identical submissions yield identical timings under
+    any scheduler."""
+
+    def run_once():
+        eng = Engine()
+        d = Disk(eng, geometry=GEO, scheduler=scheduler)
+        events = [d.submit(IORequest(lba=lba, nblocks=8)) for lba in lbas]
+
+        def waiter():
+            yield eng.all_of(events)
+
+        eng.run_process(waiter())
+        return [ev.value.completed_at for ev in events]
+
+    assert run_once() == run_once()

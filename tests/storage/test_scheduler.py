@@ -1,0 +1,126 @@
+"""Tests for disk scheduling policies (queue logic only, no timing)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DiskError
+from repro.storage import DiskGeometry, IORequest, make_scheduler, SCHEDULERS
+
+GEO = DiskGeometry(cylinders=100, heads=1, sectors_per_track=1)
+# With this geometry, LBA == cylinder, which keeps tests readable.
+
+
+def reqs(*cylinders):
+    return [IORequest(lba=c, nblocks=1) for c in cylinders]
+
+
+def drain(sched, head=0):
+    order = []
+    while not sched.empty:
+        r = sched.pop(head)
+        head = GEO.cylinder_of(r.lba)
+        order.append(head)
+    return order
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(DiskError):
+        make_scheduler("elevator-of-doom", GEO)
+
+
+def test_factory_builds_each_policy():
+    for name in SCHEDULERS:
+        sched = make_scheduler(name, GEO)
+        assert sched.name == name
+        assert sched.empty
+
+
+def test_fcfs_preserves_order():
+    s = make_scheduler("fcfs", GEO)
+    for r in reqs(50, 10, 90):
+        s.push(r)
+    assert drain(s) == [50, 10, 90]
+
+
+def test_sstf_picks_nearest():
+    s = make_scheduler("sstf", GEO)
+    for r in reqs(90, 10, 55):
+        s.push(r)
+    # head 50 → 55 (d=5); head 55 → 90 (d=35) beats 10 (d=45); then 10.
+    assert drain(s, head=50) == [55, 90, 10]
+
+
+def test_sstf_tie_breaks_by_insertion():
+    s = make_scheduler("sstf", GEO)
+    first, second = reqs(40, 60)  # equidistant from 50
+    s.push(first)
+    s.push(second)
+    assert s.pop(50) is first
+
+
+def test_scan_sweeps_up_then_down():
+    s = make_scheduler("scan", GEO)
+    for r in reqs(60, 40, 80, 20):
+        s.push(r)
+    assert drain(s, head=50) == [60, 80, 40, 20]
+
+
+def test_scan_reverses_when_nothing_ahead():
+    s = make_scheduler("scan", GEO)
+    for r in reqs(30, 10):
+        s.push(r)
+    assert drain(s, head=50) == [30, 10]
+
+
+def test_cscan_wraps_to_lowest():
+    s = make_scheduler("cscan", GEO)
+    for r in reqs(60, 40, 80, 20):
+        s.push(r)
+    assert drain(s, head=50) == [60, 80, 20, 40]
+
+
+def test_clook_same_selection_as_cscan():
+    a = make_scheduler("cscan", GEO)
+    b = make_scheduler("clook", GEO)
+    for r in reqs(60, 40, 80, 20):
+        a.push(IORequest(lba=r.lba, nblocks=1))
+        b.push(IORequest(lba=r.lba, nblocks=1))
+    assert drain(a, head=50) == drain(b, head=50)
+
+
+def test_pop_empty_raises():
+    for name in SCHEDULERS:
+        with pytest.raises(DiskError):
+            make_scheduler(name, GEO).pop(0)
+
+
+@given(
+    st.sampled_from(sorted(SCHEDULERS)),
+    st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=99),
+)
+def test_every_policy_serves_every_request(name, cylinders, head):
+    """Work-conservation: whatever the policy, each pushed request is
+    eventually popped exactly once."""
+    sched = make_scheduler(name, GEO)
+    pushed = reqs(*cylinders)
+    for r in pushed:
+        sched.push(r)
+    seen = []
+    while not sched.empty:
+        r = sched.pop(head)
+        head = GEO.cylinder_of(r.lba)
+        seen.append(r)
+    assert sorted(id(r) for r in seen) == sorted(id(r) for r in pushed)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=99), min_size=2, max_size=20))
+def test_sstf_first_pick_is_globally_nearest(cylinders):
+    sched = make_scheduler("sstf", GEO)
+    for r in reqs(*cylinders):
+        sched.push(r)
+    head = 50
+    first = sched.pop(head)
+    assert abs(GEO.cylinder_of(first.lba) - head) == min(
+        abs(c - head) for c in cylinders
+    )

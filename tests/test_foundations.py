@@ -1,0 +1,136 @@
+"""Tests for the foundation modules: units, rng, errors, version."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+import repro
+from repro import errors
+from repro.rng import SeededStreams, stream_seed
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    fmt_bytes,
+    fmt_time,
+    from_ms,
+    to_ms,
+    to_us,
+)
+
+
+# ---------------------------------------------------------------------------
+# units
+# ---------------------------------------------------------------------------
+
+def test_size_constants():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+
+
+def test_time_conversions():
+    assert to_ms(1.5) == 1500.0
+    assert to_us(2e-6) == pytest.approx(2.0)
+    assert from_ms(250.0) == 0.25
+    assert from_ms(to_ms(0.123)) == pytest.approx(0.123)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(131072) == "128.0 KiB"
+    assert fmt_bytes(1536 * KiB) == "1.5 MiB"
+    assert fmt_bytes(3 * GiB) == "3.0 GiB"
+
+
+def test_fmt_time():
+    assert fmt_time(0.0) == "0 s"
+    assert "us" in fmt_time(5e-6)
+    assert "ms" in fmt_time(0.005)
+    assert "s" in fmt_time(2.0)
+    assert "min" in fmt_time(600.0)
+
+
+@given(st.floats(min_value=1e-9, max_value=1e9))
+def test_ms_roundtrip_property(seconds):
+    assert from_ms(to_ms(seconds)) == pytest.approx(seconds, rel=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# rng
+# ---------------------------------------------------------------------------
+
+def test_stream_seed_stable_and_distinct():
+    assert stream_seed(1, "a") == stream_seed(1, "a")
+    assert stream_seed(1, "a") != stream_seed(1, "b")
+    assert stream_seed(1, "a") != stream_seed(2, "a")
+
+
+def test_streams_are_cached_and_independent():
+    s = SeededStreams(seed=9)
+    a = s.get("alpha")
+    assert s.get("alpha") is a
+    b = s.get("beta")
+    assert b is not a
+
+
+def test_same_seed_same_draws():
+    a = SeededStreams(5).get("x").integers(0, 1000, size=10)
+    b = SeededStreams(5).get("x").integers(0, 1000, size=10)
+    assert list(a) == list(b)
+
+
+def test_adding_streams_does_not_perturb_existing():
+    s1 = SeededStreams(5)
+    draw_direct = list(s1.get("x").integers(0, 1000, size=5))
+    s2 = SeededStreams(5)
+    s2.get("unrelated")  # created first — must not shift "x"
+    draw_after = list(s2.get("x").integers(0, 1000, size=5))
+    assert draw_direct == draw_after
+
+
+def test_fork_creates_distinct_family():
+    parent = SeededStreams(5)
+    child = parent.fork("sub")
+    assert child.seed != parent.seed
+    a = list(parent.get("x").integers(0, 1000, size=5))
+    b = list(child.get("x").integers(0, 1000, size=5))
+    assert a != b
+
+
+def test_reset_restarts_streams():
+    s = SeededStreams(5)
+    first = list(s.get("x").integers(0, 1000, size=5))
+    s.reset()
+    again = list(s.get("x").integers(0, 1000, size=5))
+    assert first == again
+
+
+def test_seed_type_checked():
+    with pytest.raises(TypeError):
+        SeededStreams(seed="nope")  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# errors & package surface
+# ---------------------------------------------------------------------------
+
+def test_error_hierarchy_roots():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError), name
+
+
+def test_http_error_carries_status():
+    e = errors.HttpError(404, "missing")
+    assert e.status == 404
+    assert isinstance(e, errors.ReproError)
+
+
+def test_public_api_exports_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version_string():
+    major, minor, patch = repro.__version__.split(".")
+    assert all(part.isdigit() for part in (major, minor, patch))

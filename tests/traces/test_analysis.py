@@ -1,0 +1,109 @@
+"""Tests for trace characterization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceError
+from repro.traces import IOOp, TraceRecord, summarize
+from repro.traces.analysis import _merge_intervals
+from repro.traces import generate_dmine, generate_pgrep, generate_titan
+
+
+def rec(op, offset=0, length=0, pid=0):
+    return TraceRecord(op=op, offset=offset, length=length, pid=pid)
+
+
+def test_empty_rejected():
+    with pytest.raises(TraceError):
+        summarize([])
+
+
+def test_basic_counts():
+    records = [
+        rec(IOOp.OPEN),
+        rec(IOOp.READ, 0, 100),
+        rec(IOOp.READ, 100, 100),
+        rec(IOOp.WRITE, 500, 50),
+        rec(IOOp.SEEK, 900),
+        rec(IOOp.CLOSE),
+    ]
+    s = summarize(records)
+    assert s.record_count == 6
+    assert s.op_counts[IOOp.READ] == 2
+    assert s.bytes_read == 200
+    assert s.bytes_written == 50
+    assert s.min_request == 50
+    assert s.max_request == 100
+    assert s.processes == 1
+
+
+def test_sequentiality_detection():
+    records = [
+        rec(IOOp.READ, 0, 100),     # no predecessor
+        rec(IOOp.READ, 100, 100),   # sequential
+        rec(IOOp.READ, 500, 100),   # jump
+        rec(IOOp.READ, 600, 100),   # sequential
+    ]
+    s = summarize(records)
+    assert s.sequential_reads == 2
+    assert s.sequentiality == pytest.approx(0.5)
+
+
+def test_sequentiality_tracked_per_process():
+    records = [
+        rec(IOOp.READ, 0, 100, pid=0),
+        rec(IOOp.READ, 1000, 100, pid=1),
+        rec(IOOp.READ, 100, 100, pid=0),    # sequential for pid 0
+        rec(IOOp.READ, 1100, 100, pid=1),   # sequential for pid 1
+    ]
+    s = summarize(records)
+    assert s.sequential_reads == 2
+    assert s.processes == 2
+
+
+def test_reuse_factor():
+    records = [rec(IOOp.READ, 0, 1000), rec(IOOp.READ, 0, 1000)]
+    s = summarize(records)
+    assert s.unique_bytes == 1000
+    assert s.reuse_factor == pytest.approx(2.0)
+
+
+def test_merge_intervals():
+    assert _merge_intervals([]) == 0
+    assert _merge_intervals([(0, 10)]) == 10
+    assert _merge_intervals([(0, 10), (5, 15)]) == 15
+    assert _merge_intervals([(0, 10), (20, 30)]) == 20
+    assert _merge_intervals([(20, 30), (0, 10), (9, 21)]) == 30
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=1, max_value=100),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_merge_intervals_matches_set_semantics(pairs):
+    intervals = [(start, start + length) for start, length in pairs]
+    expected = len(set().union(*(range(a, b) for a, b in intervals)))
+    assert _merge_intervals(list(intervals)) == expected
+
+
+def test_generated_traces_have_expected_character():
+    _, dmine = generate_dmine(dataset_size=4 * 1024 * 1024, passes=2)
+    s = summarize(dmine)
+    assert s.sequentiality > 0.9          # sequential scan
+    assert s.reuse_factor == pytest.approx(2.0, rel=0.05)  # two passes
+
+    _, pgrep = generate_pgrep(file_size=4 * 1024 * 1024, num_processes=4)
+    s = summarize(pgrep)
+    assert s.processes == 4
+    assert s.sequentiality > 0.9          # per-process sequential
+    assert s.reuse_factor == pytest.approx(1.0, rel=0.01)  # single pass
+
+    _, titan = generate_titan(num_queries=6, reads_per_query=8)
+    s = summarize(titan)
+    assert 0.3 < s.sequentiality < 1.0    # runs within queries, jumps between

@@ -1,0 +1,174 @@
+"""Tests for the trace file format: structures, pack/unpack, files."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceError, TraceFormatError
+from repro.traces import (
+    IOOp,
+    TraceHeader,
+    TraceRecord,
+    read_trace,
+    iter_trace,
+    write_trace,
+)
+from repro.traces.format import (
+    RECORD_STRUCT,
+    TRACE_MAGIC,
+    pack_header,
+    pack_record,
+    unpack_header,
+    unpack_record,
+)
+
+
+def header(n=0):
+    return TraceHeader(
+        num_processes=2,
+        num_files=1,
+        num_records=n,
+        records_offset=0,
+        sample_file="/data/sample.dat",
+    )
+
+
+def record(**kw):
+    defaults = dict(op=IOOp.READ, offset=4096, length=131072, pid=1,
+                    wall_clock=1.5, process_clock=1.2)
+    defaults.update(kw)
+    return TraceRecord(**defaults)
+
+
+def test_op_codes_match_paper():
+    """'(Open =0, Close=1, Read=2, Write=3, Seek=4)'"""
+    assert IOOp.OPEN == 0
+    assert IOOp.CLOSE == 1
+    assert IOOp.READ == 2
+    assert IOOp.WRITE == 3
+    assert IOOp.SEEK == 4
+
+
+def test_header_validation():
+    with pytest.raises(TraceError):
+        TraceHeader(0, 1, 0, 0, "/f")
+    with pytest.raises(TraceError):
+        TraceHeader(1, 0, 0, 0, "/f")
+    with pytest.raises(TraceError):
+        TraceHeader(1, 1, -1, 0, "/f")
+    with pytest.raises(TraceError):
+        TraceHeader(1, 1, 0, 0, "")
+
+
+def test_record_validation():
+    with pytest.raises(TraceError):
+        record(num_records=0)
+    with pytest.raises(TraceError):
+        record(offset=-1)
+    with pytest.raises(TraceError):
+        record(length=-1)
+    with pytest.raises(TraceError):
+        record(wall_clock=-1.0)
+
+
+def test_record_coerces_int_op():
+    r = TraceRecord(op=3)  # type: ignore[arg-type]
+    assert r.op is IOOp.WRITE
+
+
+def test_record_roundtrip():
+    r = record()
+    assert unpack_record(pack_record(r)) == r
+
+
+def test_record_bad_op_code_rejected():
+    data = bytearray(pack_record(record()))
+    data[0] = 99
+    with pytest.raises(TraceFormatError, match="invalid op"):
+        unpack_record(bytes(data))
+
+
+def test_record_truncation_rejected():
+    with pytest.raises(TraceFormatError, match="truncated"):
+        unpack_record(pack_record(record())[:-1])
+
+
+def test_header_roundtrip():
+    h = TraceHeader(4, 2, 100, 64, "/data/big.bin")
+    parsed = unpack_header(pack_header(h))
+    assert parsed == h
+
+
+def test_header_bad_magic():
+    data = bytearray(pack_header(header()))
+    data[0:4] = b"NOPE"
+    with pytest.raises(TraceFormatError, match="magic"):
+        unpack_header(bytes(data))
+
+
+def test_header_truncated():
+    with pytest.raises(TraceFormatError):
+        unpack_header(b"UM")
+
+
+def test_write_read_file_roundtrip(tmp_path):
+    records = [record(offset=i * 100, length=10 + i) for i in range(25)]
+    path = tmp_path / "trace.umdt"
+    written = write_trace(path, header(), records)
+    assert written.num_records == 25
+    h, recs = read_trace(path)
+    assert h == written
+    assert recs == records
+
+
+def test_write_to_filelike_and_iter():
+    records = [record(op=IOOp.SEEK, offset=i) for i in range(5)]
+    buf = io.BytesIO()
+    write_trace(buf, header(), records)
+    assert list(iter_trace(buf.getvalue())) == records
+
+
+def test_write_header_count_mismatch_rejected():
+    with pytest.raises(TraceError, match="header says"):
+        write_trace(io.BytesIO(), header(n=3), [record()])
+
+
+def test_read_truncated_records_section():
+    buf = io.BytesIO()
+    write_trace(buf, header(), [record(), record()])
+    data = buf.getvalue()[:-RECORD_STRUCT.size]
+    with pytest.raises(TraceFormatError, match="short"):
+        read_trace(data)
+
+
+op_strategy = st.sampled_from(list(IOOp))
+
+
+@given(
+    st.lists(
+        st.builds(
+            TraceRecord,
+            op=op_strategy,
+            num_records=st.integers(min_value=1, max_value=1000),
+            pid=st.integers(min_value=0, max_value=2**32 - 1),
+            field=st.integers(min_value=0, max_value=2**32 - 1),
+            wall_clock=st.floats(min_value=0, max_value=1e9),
+            process_clock=st.floats(min_value=0, max_value=1e9),
+            offset=st.integers(min_value=0, max_value=2**63 - 1),
+            length=st.integers(min_value=0, max_value=2**63 - 1),
+        ),
+        max_size=40,
+    )
+)
+def test_roundtrip_property(records):
+    """Property: write → read is the identity on any valid record list."""
+    buf = io.BytesIO()
+    write_trace(
+        buf,
+        TraceHeader(1, 1, 0, 0, "/s"),
+        records,
+    )
+    h, recs = read_trace(buf.getvalue())
+    assert h.num_records == len(records)
+    assert recs == records

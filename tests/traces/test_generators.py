@@ -1,0 +1,151 @@
+"""Tests for the five application trace generators."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces import (
+    APPLICATIONS,
+    IOOp,
+    generate_cholesky,
+    generate_dmine,
+    generate_lu,
+    generate_pgrep,
+    generate_titan,
+    generate_trace,
+)
+from repro.traces.generator.cholesky import CHOLESKY_REQUEST_SIZES
+from repro.traces.generator.dmine import DMINE_READ_SIZE
+from repro.traces.generator.lu import LU_SEEK_OFFSETS
+from repro.traces.generator.titan import TITAN_READ_SIZE
+
+
+def ops_of(records):
+    return [r.op for r in records]
+
+
+def test_registry_dispatch():
+    assert set(APPLICATIONS) == {"dmine", "pgrep", "lu", "titan", "cholesky"}
+    h, recs = generate_trace("dmine")
+    assert recs
+    with pytest.raises(TraceError):
+        generate_trace("fortnite")
+
+
+def test_every_trace_opens_before_io_and_closes():
+    for name in APPLICATIONS:
+        _, recs = generate_trace(name)
+        per_pid_open = {}
+        for r in recs:
+            if r.op is IOOp.OPEN:
+                per_pid_open[r.pid] = True
+            elif r.op is IOOp.CLOSE:
+                per_pid_open[r.pid] = False
+            else:
+                assert per_pid_open.get(r.pid), f"{name}: {r.op} before open (pid {r.pid})"
+        assert all(not v for v in per_pid_open.values()), f"{name}: file left open"
+
+
+def test_wall_clock_monotone():
+    for name in APPLICATIONS:
+        _, recs = generate_trace(name)
+        clocks = [r.wall_clock for r in recs]
+        assert clocks == sorted(clocks), name
+
+
+def test_dmine_structure():
+    h, recs = generate_dmine(dataset_size=1024 * 1024, passes=2)
+    reads = [r for r in recs if r.op is IOOp.READ]
+    assert all(r.length == DMINE_READ_SIZE for r in reads)
+    assert len(reads) == 2 * (1024 * 1024 // DMINE_READ_SIZE)
+    # Sequential within each pass.
+    per_pass = len(reads) // 2
+    offsets = [r.offset for r in reads[:per_pass]]
+    assert offsets == sorted(offsets)
+    assert recs[0].op is IOOp.OPEN and recs[-1].op is IOOp.CLOSE
+
+
+def test_dmine_validation():
+    with pytest.raises(TraceError):
+        generate_dmine(dataset_size=100)
+    with pytest.raises(TraceError):
+        generate_dmine(passes=0)
+
+
+def test_pgrep_partitions_disjoint():
+    h, recs = generate_pgrep(file_size=4 * 1024 * 1024, num_processes=4, read_size=65536)
+    assert h.num_processes == 4
+    reads = [r for r in recs if r.op is IOOp.READ]
+    partition = 4 * 1024 * 1024 // 4
+    for r in reads:
+        assert r.pid * partition <= r.offset < (r.pid + 1) * partition
+
+
+def test_pgrep_validation():
+    with pytest.raises(TraceError):
+        generate_pgrep(num_processes=0)
+    with pytest.raises(TraceError):
+        generate_pgrep(file_size=10, read_size=65536)
+
+
+def test_lu_uses_published_offsets():
+    _, recs = generate_lu()
+    seeks = [r.offset for r in recs if r.op is IOOp.SEEK]
+    # Each panel is sought twice (read then write-back); the first six
+    # panels are the published Table 3 targets.
+    assert seeks[0:12:2] == list(LU_SEEK_OFFSETS)
+    writes = [r for r in recs if r.op is IOOp.WRITE]
+    assert writes, "LU must write panels back"
+
+
+def test_lu_validation():
+    with pytest.raises(TraceError):
+        generate_lu(panel_bytes=0)
+    with pytest.raises(TraceError):
+        generate_lu(extra_panels=-1)
+
+
+def test_titan_read_size_and_reproducibility():
+    _, a = generate_titan(seed=5)
+    _, b = generate_titan(seed=5)
+    assert [r.offset for r in a] == [r.offset for r in b]
+    reads = [r for r in a if r.op is IOOp.READ]
+    assert all(r.length == TITAN_READ_SIZE for r in reads)
+    _, c = generate_titan(seed=6)
+    assert [r.offset for r in a] != [r.offset for r in c]
+
+
+def test_titan_validation():
+    with pytest.raises(TraceError):
+        generate_titan(region_size=1000)
+    with pytest.raises(TraceError):
+        generate_titan(num_queries=0)
+
+
+def test_cholesky_uses_published_sizes():
+    _, recs = generate_cholesky()
+    reads = [r.length for r in recs if r.op is IOOp.READ]
+    assert reads == list(CHOLESKY_REQUEST_SIZES)
+
+
+def test_cholesky_each_read_preceded_by_seek_to_same_offset():
+    _, recs = generate_cholesky()
+    for i, r in enumerate(recs):
+        if r.op is IOOp.READ:
+            assert recs[i - 1].op is IOOp.SEEK
+            assert recs[i - 1].offset == r.offset
+
+
+def test_cholesky_rounds_extend_trace():
+    _, one = generate_cholesky(rounds=1)
+    _, two = generate_cholesky(rounds=2)
+    n_reads = lambda rs: sum(1 for r in rs if r.op is IOOp.READ)
+    assert n_reads(two) == 2 * n_reads(one)
+
+
+def test_cholesky_validation():
+    with pytest.raises(TraceError):
+        generate_cholesky(sizes=[])
+    with pytest.raises(TraceError):
+        generate_cholesky(rounds=0)
+    with pytest.raises(TraceError):
+        generate_cholesky(compute_gap=0)

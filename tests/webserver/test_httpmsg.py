@@ -1,0 +1,104 @@
+"""Tests for HTTP message building and parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HttpError
+from repro.webserver import HttpRequest, HttpResponse, parse_request
+from repro.webserver.client import _parse_response_header
+
+
+def test_get_request_wire_format():
+    req = HttpRequest("GET", "/images/a.jpg")
+    text = req.header_text()
+    assert text.startswith("GET /images/a.jpg HTTP/1.0\r\n")
+    assert text.endswith("\r\n\r\n")
+    assert req.wire_bytes == len(text)
+
+
+def test_post_request_carries_content_length():
+    req = HttpRequest("POST", "/upload", body_bytes=1234)
+    assert "Content-Length: 1234" in req.header_text()
+    assert req.wire_bytes == len(req.header_text()) + 1234
+
+
+def test_request_validation():
+    with pytest.raises(HttpError):
+        HttpRequest("DELETE", "/x")
+    with pytest.raises(HttpError):
+        HttpRequest("GET", "relative/path")
+    with pytest.raises(HttpError):
+        HttpRequest("GET", "/x", body_bytes=10)
+    with pytest.raises(HttpError):
+        HttpRequest("POST", "/x", body_bytes=-1)
+
+
+def test_parse_request_roundtrip():
+    for req in (
+        HttpRequest("GET", "/a/b.html"),
+        HttpRequest("POST", "/upload", body_bytes=999),
+    ):
+        assert parse_request(req.header_text()) == req
+
+
+def test_parse_request_errors():
+    with pytest.raises(HttpError) as e:
+        parse_request("")
+    assert e.value.status == 400
+    with pytest.raises(HttpError):
+        parse_request("GET /x\r\n\r\n")  # missing version
+    with pytest.raises(HttpError):
+        parse_request("GET /x FTP/1.0\r\n\r\n")
+    with pytest.raises(HttpError) as e:
+        parse_request("PATCH /x HTTP/1.0\r\n\r\n")
+    assert e.value.status == 405
+    with pytest.raises(HttpError):
+        parse_request("POST /x HTTP/1.0\r\nContent-Length: soup\r\n\r\n")
+    with pytest.raises(HttpError):
+        parse_request("GET /x HTTP/1.0\r\nbroken header line\r\n\r\n")
+
+
+def test_response_wire_format():
+    resp = HttpResponse(200, body_bytes=500)
+    text = resp.header_text()
+    assert text.startswith("HTTP/1.0 200 OK\r\n")
+    assert "Content-Length: 500" in text
+    assert resp.wire_bytes == len(text) + 500
+
+
+def test_response_validation():
+    with pytest.raises(HttpError):
+        HttpResponse(299)
+    with pytest.raises(HttpError):
+        HttpResponse(200, body_bytes=-1)
+
+
+def test_client_parses_response_header():
+    resp = HttpResponse(404, body_bytes=0)
+    status, length = _parse_response_header(resp.header_text())
+    assert status == 404
+    assert length == 0
+    with pytest.raises(HttpError):
+        _parse_response_header("garbage\r\n\r\n")
+    with pytest.raises(HttpError):
+        _parse_response_header("HTTP/1.0 abc OK\r\n\r\n")
+
+
+path_strategy = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789._-/"),
+    min_size=1,
+    max_size=40,
+).map(lambda s: "/" + s.replace("//", "/"))
+
+
+@given(path_strategy, st.integers(min_value=0, max_value=10**9))
+def test_post_roundtrip_property(path, nbytes):
+    req = HttpRequest("POST", path, body_bytes=nbytes)
+    parsed = parse_request(req.header_text())
+    assert parsed == req
+
+
+@given(path_strategy)
+def test_get_roundtrip_property(path):
+    req = HttpRequest("GET", path)
+    assert parse_request(req.header_text()) == req
