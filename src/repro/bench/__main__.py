@@ -4,6 +4,10 @@
     python -m repro.bench fig4 tab1             # a subset
     python -m repro.bench --output report.txt   # also save the text
     python -m repro.bench --json results.json   # machine-readable dump
+    python -m repro.bench tab1 --trace-out t.json   # Chrome/Perfetto trace
+    python -m repro.bench tab1 --trace-jsonl t.jsonl  # JSONL event dump
+
+See docs/observability.md for the trace formats and how to view them.
 """
 
 from __future__ import annotations
@@ -28,14 +32,31 @@ def main(argv=None) -> int:
     parser.add_argument("--output", help="also write the text report to this file")
     parser.add_argument("--json", dest="json_path",
                         help="write results as JSON to this file")
+    parser.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        help="record simulation spans and write a Chrome trace_event JSON "
+        "file (open in ui.perfetto.dev or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--trace-jsonl",
+        dest="trace_jsonl",
+        help="record simulation spans and write them as JSON-lines",
+    )
     args = parser.parse_args(argv)
+
+    tracer = None
+    if args.trace_out or args.trace_jsonl:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
 
     exp_ids = args.experiments or sorted(ALL_EXPERIMENTS)
     blocks = []
     dumps = []
     for exp_id in exp_ids:
         t0 = time.perf_counter()
-        result = run_experiment(exp_id)
+        result = run_experiment(exp_id, tracer=tracer)
         elapsed = time.perf_counter() - t0
         block = render_table(result) + f"\n  (ran in {elapsed:.2f}s wall)"
         print(block)
@@ -51,6 +72,16 @@ def main(argv=None) -> int:
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as fh:
             json.dump(dumps, fh, indent=2)
+    if tracer is not None:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        if args.trace_out:
+            n = write_chrome_trace(args.trace_out, tracer)
+            print(f"wrote {n} trace events to {args.trace_out} "
+                  f"(categories: {', '.join(tracer.categories_seen())})")
+        if args.trace_jsonl:
+            n = write_jsonl(args.trace_jsonl, tracer)
+            print(f"wrote {n} events to {args.trace_jsonl}")
     return 0
 
 

@@ -1,5 +1,7 @@
 """Experiment registry."""
 
+import inspect
+
 from repro.bench.experiments.fig2_fig3_qcrd import run_fig2, run_fig3
 from repro.bench.experiments.fig4_fig5_speedup import run_fig4, run_fig5
 from repro.bench.experiments.tables_traces import run_tab1, run_tab2, run_tab3, run_tab4
@@ -46,11 +48,19 @@ __all__ = ["ALL_EXPERIMENTS", "run_experiment"] + sorted(
 
 
 def run_experiment(exp_id: str, **kwargs):
-    """Run one experiment by id (``fig2`` ... ``tab6``)."""
+    """Run one experiment by id (``fig2`` ... ``tab6``).
+
+    Optional kwargs (e.g. ``tracer=``) that a particular runner does
+    not accept are dropped rather than raising, so callers can hand
+    the same instrumentation to every experiment in a sweep.
+    """
     try:
         runner = ALL_EXPERIMENTS[exp_id]
     except KeyError:
         raise BenchmarkError(
             f"unknown experiment {exp_id!r}; choices: {sorted(ALL_EXPERIMENTS)}"
         ) from None
+    params = inspect.signature(runner).parameters
+    if not any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        kwargs = {k: v for k, v in kwargs.items() if k in params}
     return runner(**kwargs)

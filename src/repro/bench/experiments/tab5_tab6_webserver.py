@@ -8,10 +8,18 @@ reads come from the I/O buffers.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from repro.bench.report import ExperimentResult
 from repro.webserver import HostConfig, WebServerHost
+
+
+def _host(config: Optional[HostConfig], tracer) -> WebServerHost:
+    cfg = config or HostConfig()
+    if tracer is not None and cfg.tracer is None:
+        cfg = replace(cfg, tracer=tracer)
+    return WebServerHost(cfg)
 
 __all__ = ["run_tab5", "run_tab6", "PAPER_TAB5", "PAPER_TAB6"]
 
@@ -32,9 +40,9 @@ _FILES_BY_SIZE = {
 }
 
 
-def run_tab5(config: Optional[HostConfig] = None) -> ExperimentResult:
+def run_tab5(config: Optional[HostConfig] = None, tracer=None) -> ExperimentResult:
     """Table 5: response time of read and write operations."""
-    host = WebServerHost(config)
+    host = _host(config, tracer)
     requests = []
     for size, _r, _w in PAPER_TAB5:
         requests.append(("GET", _FILES_BY_SIZE[size]))
@@ -77,10 +85,10 @@ def run_tab5(config: Optional[HostConfig] = None) -> ExperimentResult:
 
 
 def run_tab6(
-    trials: int = 6, config: Optional[HostConfig] = None
+    trials: int = 6, config: Optional[HostConfig] = None, tracer=None
 ) -> ExperimentResult:
     """Table 6 / Figure 6: repeated reads of the same ~14 KB file."""
-    host = WebServerHost(config)
+    host = _host(config, tracer)
     path = _FILES_BY_SIZE[14063]
     host.run_request_sequence([("GET", path)] * trials)
     gets = host.metrics.gets()

@@ -12,6 +12,7 @@ Windows page cache), but the orderings and bimodality reproduce.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional
 
 from repro.bench.report import ExperimentResult
@@ -50,10 +51,18 @@ def _mean(result, op):
     return s.mean_ms if s is not None else None
 
 
-def run_tab1(config: Optional[ReplayConfig] = None) -> ExperimentResult:
+def _config(config: Optional[ReplayConfig], tracer, **defaults) -> ReplayConfig:
+    """Default config for a table, with an optional shared tracer."""
+    cfg = config or ReplayConfig(**defaults)
+    if tracer is not None and cfg.tracer is None:
+        cfg = replace(cfg, tracer=tracer)
+    return cfg
+
+
+def run_tab1(config: Optional[ReplayConfig] = None, tracer=None) -> ExperimentResult:
     """Table 1: the data-mining application (steady state)."""
     header, records = generate_dmine()
-    cfg = config or ReplayConfig(warmup=True)
+    cfg = _config(config, tracer, warmup=True)
     result = TraceReplayer(cfg).replay(header, records, "dmine")
     p = PAPER["dmine"]
     rows = [
@@ -75,10 +84,10 @@ def run_tab1(config: Optional[ReplayConfig] = None) -> ExperimentResult:
     )
 
 
-def run_tab2(config: Optional[ReplayConfig] = None) -> ExperimentResult:
+def run_tab2(config: Optional[ReplayConfig] = None, tracer=None) -> ExperimentResult:
     """Table 2: the Titan remote-sensing database (steady state)."""
     header, records = generate_titan()
-    cfg = config or ReplayConfig(warmup=True)
+    cfg = _config(config, tracer, warmup=True)
     result = TraceReplayer(cfg).replay(header, records, "titan")
     p = PAPER["titan"]
     rows = [
@@ -96,11 +105,11 @@ def run_tab2(config: Optional[ReplayConfig] = None) -> ExperimentResult:
     )
 
 
-def run_tab3(config: Optional[ReplayConfig] = None) -> ExperimentResult:
+def run_tab3(config: Optional[ReplayConfig] = None, tracer=None) -> ExperimentResult:
     """Table 3: LU factorization — per-request seek times plus the
     open/close pair the paper quotes in prose."""
     header, records = generate_lu()
-    cfg = config or ReplayConfig(warmup=False)
+    cfg = _config(config, tracer, warmup=False)
     result = TraceReplayer(cfg).replay(header, records, "lu")
     paper_seeks = dict(PAPER["lu"]["seeks"])
     seek_rows = result.rows_for(IOOp.SEEK)
@@ -126,10 +135,10 @@ def run_tab3(config: Optional[ReplayConfig] = None) -> ExperimentResult:
     )
 
 
-def run_tab4(config: Optional[ReplayConfig] = None) -> ExperimentResult:
+def run_tab4(config: Optional[ReplayConfig] = None, tracer=None) -> ExperimentResult:
     """Table 4: sparse Cholesky — per-request seek and read times."""
     header, records = generate_cholesky()
-    cfg = config or ReplayConfig(warmup=False)
+    cfg = _config(config, tracer, warmup=False)
     result = TraceReplayer(cfg).replay(header, records, "cholesky")
     seeks = result.rows_for(IOOp.SEEK)
     reads = result.rows_for(IOOp.READ)

@@ -53,6 +53,8 @@ class JitCompiler:
         self._in_progress: Dict[int, Event] = {}
         self.methods_compiled = Counter("jit.methods")
         self.compile_times = Tally("jit.time")
+        engine.metrics.register(self.methods_compiled.name, self.methods_compiled)
+        engine.metrics.register(self.compile_times.name, self.compile_times)
 
     def is_compiled(self, method: MethodDef) -> bool:
         return method.token in self._compiled
@@ -78,11 +80,16 @@ class JitCompiler:
         done = self.engine.event()
         self._in_progress[token] = done
         cost = self.compile_cost(method)
+        started = self.engine.now
         yield self.engine.timeout(cost)
         self._compiled.add(token)
         del self._in_progress[token]
         self.methods_compiled.add()
         self.compile_times.record(cost)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.complete("jit.compile", "jit", started,
+                            method=method.name, size=method.size)
         done.succeed()
         return True
 

@@ -125,6 +125,8 @@ class BufferCache:
         self._policy = make_eviction_policy(self.params.eviction)
         self._inflight: Dict[Tuple[int, int], Event] = {}
         self.stats = CacheStats()
+        engine.metrics.register("cache.stats", self.stats)
+        engine.metrics.gauge("cache.resident_pages", lambda: len(self._pages))
 
     # -- queries ---------------------------------------------------------
 
@@ -206,8 +208,14 @@ class BufferCache:
                 "cache", "demand fetch",
                 file=inode.file_id, first_page=first_page, npages=npages,
             )
+        tracer = self.engine.tracer
+        started = self.engine.now if tracer.enabled else 0.0
         done = self._begin_fetch(inode, first_page, npages)
         yield from self._complete_fetch(inode, first_page, npages, done)
+        if tracer.enabled:
+            tracer.complete("cache.fetch", "io", started,
+                            file=inode.file_id, first_page=first_page,
+                            npages=npages)
 
     def _complete_fetch(self, inode: "Inode", first_page: int, npages: int, done: Event):
         """Generator: issue the device reads for an already-registered
@@ -266,6 +274,7 @@ class BufferCache:
                 runs.append((start, prev - start + 1))
                 start = prev = p
         runs.append((start, prev - start + 1))
+        tracer = self.engine.tracer
         for run_start, run_len in runs:
             # Register in-flight *now* so demand reads and repeated
             # prefetch calls see these pages immediately.
@@ -274,6 +283,9 @@ class BufferCache:
                     "cache", "prefetch",
                     file=inode.file_id, first_page=run_start, npages=run_len,
                 )
+            if tracer.enabled:
+                tracer.instant("cache.prefetch", "io", file=inode.file_id,
+                               first_page=run_start, npages=run_len)
             done = self._begin_fetch(inode, run_start, run_len)
             self.engine.process(
                 self._complete_fetch(inode, run_start, run_len, done),
@@ -387,6 +399,11 @@ class BufferCache:
                 file=victim_key[0], page=victim_key[1],
                 dirty=victim_state is PageState.DIRTY,
             )
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant("cache.evict", "io", file=victim_key[0],
+                           page=victim_key[1],
+                           dirty=victim_state is PageState.DIRTY)
         if victim_state is PageState.DIRTY:
             # Lost-update safety: queue an async write-back for the victim.
             file_id, page = victim_key

@@ -55,6 +55,8 @@ class FileStream:
     @classmethod
     def open(cls, fs: FileSystem, path: str, mode: FileMode = FileMode.OPEN):
         """Generator: construct a stream (the paper's component (1))."""
+        tracer = fs.engine.tracer
+        started = fs.engine.now if tracer.enabled else 0.0
         if mode is FileMode.OPEN:
             handle = yield from fs.open(path, writable=False)
         elif mode is FileMode.CREATE:
@@ -68,6 +70,9 @@ class FileStream:
             handle.position = handle.inode.size_bytes
         else:  # pragma: no cover - exhaustive over enum
             raise FileSystemError(f"unsupported mode {mode!r}")
+        if tracer.enabled:
+            tracer.complete("stream.open", "io", started,
+                            path=path, mode=mode.value)
         return cls(fs, handle, mode)
 
     def close(self):
@@ -118,10 +123,15 @@ class FileStream:
         Returns total bytes read."""
         if chunk < 1:
             raise FileSystemError(f"chunk must be >= 1, got {chunk}")
+        tracer = self.fs.engine.tracer
+        started = self.fs.engine.now if tracer.enabled else 0.0
         total = 0
         while True:
             got = yield from self.read(chunk)
             if got == 0:
+                if tracer.enabled:
+                    tracer.complete("stream.read_to_end", "io", started,
+                                    path=self.handle.inode.path, nbytes=total)
                 return total
             total += got
 

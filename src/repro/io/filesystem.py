@@ -206,11 +206,16 @@ class FileSystem:
         self._next_free_lba = 0
         self._free_extents: List[Tuple[int, int]] = []
 
-        # Per-op latency stats (seconds), for the benchmark harness.
+        # Per-op latency stats (seconds), for the benchmark harness;
+        # registered so engine.metrics.snapshot() covers the fs layer.
         self.op_times: Dict[str, Tally] = {
             op: Tally(f"fs.{op}") for op in ("open", "close", "read", "write", "seek")
         }
         self.ops = Counter("fs.ops")
+        for tally in self.op_times.values():
+            engine.metrics.register(tally.name, tally)
+        engine.metrics.register(self.ops.name, self.ops)
+        engine.metrics.gauge("fs.files", lambda: len(self._files))
 
     # -- namespace (non-blocking helpers) ------------------------------------
 
@@ -519,6 +524,9 @@ class FileSystem:
         elapsed = self.engine.now - start
         self.op_times[op].record(elapsed)
         self.ops.add()
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.complete(f"fs.{op}", "io", start)
         if self.probe.enabled:
             self.probe.record("fs", op, ms=round(elapsed * 1e3, 6))
 

@@ -108,6 +108,11 @@ class Prefetcher:
         self.cache = cache
         self.policy = policy if policy is not None else FixedAheadPrefetch()
         self._states: Dict[int, _FileState] = {}
+        self.pages_scheduled = 0
+        cache.engine.metrics.gauge(
+            "prefetch.pages_scheduled", lambda: self.pages_scheduled,
+            policy=self.policy.name,
+        )
 
     def _state(self, inode: "Inode") -> _FileState:
         st = self._states.get(inode.file_id)
@@ -125,7 +130,9 @@ class Prefetcher:
         state.last_end = end
         if window <= 0:
             return 0
-        return self.cache.prefetch(inode, end, window)
+        scheduled = self.cache.prefetch(inode, end, window)
+        self.pages_scheduled += scheduled
+        return scheduled
 
     def on_seek(self, inode: "Inode", target_page: int) -> int:
         """Called on an explicit seek: warm the cache at the target
@@ -135,7 +142,9 @@ class Prefetcher:
         state.last_end = target_page
         if window <= 0:
             return 0
-        return self.cache.prefetch(inode, target_page, window)
+        scheduled = self.cache.prefetch(inode, target_page, window)
+        self.pages_scheduled += scheduled
+        return scheduled
 
     def forget(self, inode: "Inode") -> None:
         """Drop pattern memory (file closed/deleted)."""

@@ -1,0 +1,138 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and JSONL.
+
+Two interchange formats for a recorded :class:`~repro.obs.Tracer`:
+
+* **Chrome trace JSON** — the ``trace_event`` format understood by
+  ``chrome://tracing`` and https://ui.perfetto.dev: a dict with a
+  ``traceEvents`` list of complete (``"ph": "X"``), instant
+  (``"ph": "i"``), counter (``"ph": "C"``) and metadata (``"ph": "M"``)
+  events.  Timestamps are microseconds of *simulated* time; each
+  engine attachment becomes a ``pid`` with a ``process_name`` record.
+* **JSONL** — one :meth:`~repro.obs.TraceEvent.to_dict` object per
+  line; trivially greppable, diffable, and loadable with
+  :func:`read_jsonl` for programmatic analysis.
+
+See ``docs/observability.md`` for the documented field layout and a
+worked example.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Union
+
+from repro.errors import SimulationError
+from repro.obs.tracer import TraceEvent, Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+#: Simulated seconds → trace_event microseconds.
+_US = 1e6
+
+
+def _tracers(tracer: Union[Tracer, Iterable[Tracer]]) -> List[Tracer]:
+    if isinstance(tracer, Tracer):
+        return [tracer]
+    tracers = list(tracer)
+    if not all(isinstance(t, Tracer) for t in tracers):
+        raise SimulationError("to_chrome_trace needs Tracer instances")
+    return tracers
+
+
+def to_chrome_trace(tracer: Union[Tracer, Iterable[Tracer]]) -> dict:
+    """Build the ``trace_event`` document for one or more tracers.
+
+    When several tracers are given, their process groups are offset so
+    ``pid`` values never collide in the merged view.
+    """
+    events: List[dict] = []
+    pid_base = 0
+    for tr in _tracers(tracer):
+        for pid, name in sorted(tr.process_names.items()):
+            events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid_base + pid,
+                "tid": 0,
+                "args": {"name": name},
+            })
+        for event in tr.events:
+            events.append(_chrome_event(event, pid_base))
+        pid_base += max(tr.process_names, default=0)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "source": "repro.obs"},
+    }
+
+
+def _chrome_event(event: TraceEvent, pid_base: int) -> dict:
+    common = {
+        "name": event.name,
+        "cat": event.category or "default",
+        "pid": pid_base + event.pid,
+        "tid": event.tid,
+        "ts": event.start * _US,
+    }
+    if event.kind == "span":
+        common["ph"] = "X"
+        common["dur"] = event.duration * _US
+        args = dict(event.attrs)
+        if event.parent_id is not None:
+            args["parent"] = event.parent_id
+        common["args"] = args
+    elif event.kind == "counter":
+        common["ph"] = "C"
+        common["args"] = {event.name: event.attrs.get("value", 0)}
+    else:
+        common["ph"] = "i"
+        common["s"] = "t"  # thread-scoped instant
+        common["args"] = dict(event.attrs)
+    return common
+
+
+def write_chrome_trace(path: str, tracer: Union[Tracer, Iterable[Tracer]]) -> int:
+    """Write the Chrome trace JSON to ``path``; returns the event
+    count (excluding metadata records)."""
+    doc = to_chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return sum(1 for e in doc["traceEvents"] if e["ph"] != "M")
+
+
+def to_jsonl(tracer: Tracer) -> List[str]:
+    """One compact JSON object per event, in recording order."""
+    return [json.dumps(e.to_dict(), sort_keys=True) for e in tracer.events]
+
+
+def write_jsonl(path: str, tracer: Tracer) -> int:
+    """Write the JSONL stream to ``path``; returns the line count."""
+    lines = to_jsonl(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(line + "\n")
+    return len(lines)
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Load a JSONL trace back into :class:`TraceEvent` objects."""
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+            except (ValueError, KeyError) as exc:
+                raise SimulationError(
+                    f"{path}:{lineno}: malformed trace line ({exc})"
+                ) from None
+    return events

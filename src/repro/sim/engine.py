@@ -13,6 +13,8 @@ import heapq
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.event import AllOf, AnyOf, Event, Timeout
 from repro.sim.process import Process
 
@@ -26,9 +28,18 @@ class Engine:
     ----------
     start:
         Initial value of the simulated clock (seconds).
+    tracer:
+        A :class:`repro.obs.Tracer` to receive spans from every
+        component built on this engine (``engine.tracer`` is how the
+        stack reaches it); default is the zero-cost
+        :data:`~repro.obs.NULL_TRACER`.
+    metrics:
+        A :class:`repro.obs.MetricsRegistry`; components register
+        their collectors here at construction.  A fresh registry is
+        created when omitted.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, tracer=None, metrics=None) -> None:
         self._now: float = float(start)
         self._seq: int = 0
         # Heap items: (time, seq, payload). A payload is either an Event
@@ -36,6 +47,11 @@ class Engine:
         self._queue: List[Tuple[float, int, Any]] = []
         self._live_processes: int = 0
         self._running = False
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.attach(self)
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
 
     # -- clock ------------------------------------------------------------
 
@@ -66,8 +82,21 @@ class Engine:
         ``daemon=True`` marks server-loop processes (disk arms, listen
         loops) that legitimately block forever: they are excluded from
         deadlock detection when the event queue drains.
+
+        When a tracer is attached, each finishing process leaves a
+        ``"sim"``-category span covering its lifetime.
         """
-        return Process(self, generator, name=name, daemon=daemon)
+        proc = Process(self, generator, name=name, daemon=daemon)
+        tracer = self.tracer
+        if tracer.enabled:
+            started = self._now
+            label = proc.name
+            proc.add_callback(
+                lambda ev: tracer.complete(
+                    f"process:{label}", "sim", started, daemon=daemon
+                )
+            )
+        return proc
 
     def all_of(self, events: List[Event]) -> AllOf:
         """Event that succeeds when every event in ``events`` has."""
@@ -122,6 +151,7 @@ class Engine:
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
+        run_started = self._now
         try:
             while self._queue:
                 when = self._queue[0][0]
@@ -139,6 +169,8 @@ class Engine:
             return self._now
         finally:
             self._running = False
+            if self.tracer.enabled:
+                self.tracer.complete("engine.run", "sim", run_started)
 
     def run_process(self, generator: Generator[Event, Any, Any]) -> Any:
         """Convenience: start ``generator`` as a process, run to completion,

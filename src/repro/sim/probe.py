@@ -1,5 +1,13 @@
 """Event probes: structured, timestamped instrumentation.
 
+.. deprecated::
+    ``Probe`` predates the unified observability layer and is kept as
+    a thin back-compatible adapter over :class:`repro.obs.Tracer`:
+    every ``record()`` becomes an *instant* trace event on an internal
+    (or shared) tracer, and all queries read back from it.  New code
+    should use ``engine.tracer`` / :mod:`repro.obs` directly — spans,
+    counters and exporters live there.  See ``docs/observability.md``.
+
 A :class:`Probe` collects ``(time, category, message, fields)``
 entries from instrumented components (disk, buffer cache, file
 system).  Probes are opt-in and cost nothing when absent — components
@@ -11,14 +19,22 @@ Usage::
     disk = Disk(engine, probe=probe)
     ...
     print(probe.render(limit=50))
+
+To get probe records into an exported trace, hand the probe the same
+tracer the engine uses::
+
+    tracer = Tracer()
+    engine = Engine(tracer=tracer)
+    probe = Probe(engine, tracer=tracer)   # records merge into tracer
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Set, TYPE_CHECKING
+from typing import Any, Dict, Iterable, List, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.obs.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
@@ -71,6 +87,12 @@ class Probe:
     capacity:
         Maximum retained entries (oldest dropped beyond it); None =
         unbounded.
+    tracer:
+        Record into this :class:`repro.obs.Tracer` instead of a
+        private one — pass the engine's tracer to merge probe records
+        into an exported trace.  Category filtering and the capacity
+        cap then apply tracer-wide only when the probe created the
+        tracer itself.
     """
 
     enabled = True
@@ -80,16 +102,22 @@ class Probe:
         engine: "Engine",
         categories: Optional[Iterable[str]] = None,
         capacity: Optional[int] = 100_000,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise SimulationError(f"capacity must be >= 1 or None, got {capacity}")
         self.engine = engine
-        self.categories: Optional[Set[str]] = (
-            set(categories) if categories is not None else None
-        )
+        self.categories = set(categories) if categories is not None else None
         self.capacity = capacity
-        self.entries: List[ProbeEntry] = []
-        self.dropped = 0
+        if tracer is None:
+            tracer = Tracer(capacity=capacity)
+            tracer.attach(engine, name="probe")
+        self._tracer = tracer
+
+    @property
+    def tracer(self) -> Tracer:
+        """The backing tracer (share it to merge with other sources)."""
+        return self._tracer
 
     def wants(self, category: str) -> bool:
         return self.categories is None or category in self.categories
@@ -98,12 +126,21 @@ class Probe:
         """Append one entry (filtered by category, capped by capacity)."""
         if not self.wants(category):
             return
-        if self.capacity is not None and len(self.entries) >= self.capacity:
-            self.entries.pop(0)
-            self.dropped += 1
-        self.entries.append(
-            ProbeEntry(self.engine.now, category, message, dict(fields))
-        )
+        self._tracer.instant(message, category, **fields)
+
+    @property
+    def entries(self) -> List[ProbeEntry]:
+        """All recorded entries, oldest first (rebuilt per access from
+        the backing tracer's instant events)."""
+        return [
+            ProbeEntry(e.start, e.category, e.name, dict(e.attrs))
+            for e in self._tracer.events
+            if e.kind == "instant"
+        ]
+
+    @property
+    def dropped(self) -> int:
+        return self._tracer.dropped
 
     def by_category(self, category: str) -> List[ProbeEntry]:
         return [e for e in self.entries if e.category == category]
@@ -113,13 +150,22 @@ class Probe:
         return [e for e in self.entries if start <= e.time < end]
 
     def clear(self) -> None:
-        self.entries.clear()
-        self.dropped = 0
+        self._tracer.clear()
 
     def render(self, limit: Optional[int] = None) -> str:
-        """Human-readable log (most recent ``limit`` entries)."""
-        items = self.entries if limit is None else self.entries[-limit:]
+        """Human-readable log of the most recent entries.
+
+        Contract: ``limit=None`` renders every entry; ``limit > 0``
+        renders the most recent ``limit`` entries; ``limit <= 0``
+        renders none (returns the empty string) — a zero or negative
+        budget never means "everything".
+        """
+        if limit is not None and limit <= 0:
+            return ""
+        items = self.entries
+        if limit is not None:
+            items = items[-limit:]
         return "\n".join(e.render() for e in items)
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return sum(1 for e in self._tracer.events if e.kind == "instant")

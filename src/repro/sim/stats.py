@@ -8,6 +8,7 @@ NumPy only when asked.
 from __future__ import annotations
 
 import math
+import numbers
 from typing import List, Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
@@ -30,10 +31,20 @@ class Counter:
         self.value = 0
 
     def add(self, n: int = 1) -> None:
-        """Increment by ``n`` (must be non-negative)."""
+        """Increment by ``n``.
+
+        ``n`` must be a non-negative integer; anything else raises
+        :class:`~repro.errors.SimulationError` (the same error type
+        every collector in this module uses for bad input — callers
+        can catch one exception class for all of them).
+        """
+        if not isinstance(n, numbers.Integral):
+            raise SimulationError(
+                f"Counter {self.name!r}: add() needs an integer, got {n!r}"
+            )
         if n < 0:
-            raise SimulationError(f"Counter.add of negative {n}")
-        self.value += n
+            raise SimulationError(f"Counter {self.name!r}: add of negative {n}")
+        self.value += int(n)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Counter {self.name}={self.value}>"
@@ -47,12 +58,28 @@ class Tally:
         self._values: List[float] = []
 
     def record(self, value: float) -> None:
-        """Add one observation."""
-        self._values.append(float(value))
+        """Add one observation.
+
+        ``value`` must be a finite real number; non-numeric or NaN
+        input raises :class:`~repro.errors.SimulationError` (matching
+        :meth:`Counter.add` — one error type across the collectors).
+        """
+        self._values.append(self._check(value))
 
     def extend(self, values: Sequence[float]) -> None:
-        """Add many observations."""
-        self._values.extend(float(v) for v in values)
+        """Add many observations (validated like :meth:`record`)."""
+        self._values.extend(self._check(v) for v in values)
+
+    def _check(self, value: float) -> float:
+        try:
+            out = float(value)
+        except (TypeError, ValueError):
+            raise SimulationError(
+                f"Tally {self.name!r}: non-numeric observation {value!r}"
+            ) from None
+        if math.isnan(out):
+            raise SimulationError(f"Tally {self.name!r}: NaN observation")
+        return out
 
     @property
     def count(self) -> int:

@@ -128,13 +128,23 @@ class Disk:
         self._wakeup: Optional[Event] = None
         self._completions: Dict[int, Event] = {}
 
-        # Statistics.
+        # Statistics (registered with the engine's metrics registry so
+        # one snapshot covers every device on the machine).
         self.requests_completed = Counter(f"{name}.completed")
         self.bytes_read = Counter(f"{name}.bytes_read")
         self.bytes_written = Counter(f"{name}.bytes_written")
         self.service_times = Tally(f"{name}.service")
         self.response_times = Tally(f"{name}.response")
         self.busy = TimeWeighted(engine, initial=0.0)
+        reg = engine.metrics
+        for collector in (self.requests_completed, self.bytes_read,
+                          self.bytes_written, self.service_times,
+                          self.response_times):
+            reg.register(collector.name, collector, device=name)
+        reg.register(f"{name}.busy", self.busy, device=name)
+        reg.gauge(f"{name}.queue_depth", lambda: len(self.scheduler), device=name)
+        reg.gauge(f"{name}.queue_max_depth",
+                  lambda: self.scheduler.max_depth, device=name)
 
         engine.process(self._arm(), name=f"{name}.arm", daemon=True)
 
@@ -173,6 +183,12 @@ class Disk:
                 nblocks=request.nblocks, write=request.is_write,
             )
         self.scheduler.push(request)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.counter(f"{self.name}.queue", "storage",
+                           self.scheduler.note_depth())
+        else:
+            self.scheduler.note_depth()
         if self._wakeup is not None:
             wake, self._wakeup = self._wakeup, None
             wake.succeed()
@@ -253,6 +269,17 @@ class Disk:
                 self.bytes_read.add(nbytes)
             self.service_times.record(request.service_time)
             self.response_times.record(request.response_time)
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.complete(
+                    f"disk.{'write' if request.is_write else 'read'}",
+                    "storage", request.started_at,
+                    device=self.name, lba=request.lba,
+                    nblocks=request.nblocks,
+                    wait_ms=round((request.started_at - request.submitted_at) * 1e3, 6),
+                )
+                tracer.counter(f"{self.name}.queue", "storage",
+                               len(self.scheduler))
             if self.probe.enabled:
                 self.probe.record(
                     "disk", f"{self.name} complete",

@@ -57,6 +57,11 @@ class ReplayConfig:
 
     ``concurrent=True`` replays each traced process id on its own
     managed thread.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) turns on unified
+    observability for the whole replay stack: the engine, disk,
+    cache, file system, JIT and the replayer itself all emit spans
+    into it, exportable via :mod:`repro.obs.export`.
     """
 
     file_size: int = 1 * GiB
@@ -71,6 +76,8 @@ class ReplayConfig:
     # to these categories ("disk", "cache", "fs") and returns it in
     # ReplayResult.probe (for timelines/diagnostics).
     probe_categories: Optional[Tuple[str, ...]] = None
+    # Unified observability sink (repro.obs.Tracer); None = disabled.
+    tracer: Optional[object] = None
     fs_params: FsParams = field(default_factory=FsParams)
     disk_params: DiskParams = field(default_factory=DiskParams)
     disk_geometry: DiskGeometry = field(default_factory=DiskGeometry)
@@ -206,8 +213,16 @@ class _ReplaySession:
 
     def _finish(self, stream: _ReplayStream, op: IOOp, started: float) -> None:
         elapsed = self.engine.now - started
+        index, record = stream.current
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.complete(
+                f"replay.{op.name.lower()}", "replay", started,
+                tid=stream.stream_id, index=index, pid=record.pid,
+                offset=record.offset, length=record.length,
+                measured=self.measuring,
+            )
         if self.measuring:
-            index, record = stream.current
             self.timings.record(op, elapsed)
             self.per_record.append(RecordTiming(index, record, elapsed))
 
@@ -303,7 +318,8 @@ class TraceReplayer:
         application: str = "trace",
     ) -> ReplayResult:
         cfg = self.config
-        engine = Engine()
+        engine = Engine(tracer=cfg.tracer)
+        engine.tracer.name_process(f"replay:{application}")
         probe = None
         if cfg.probe_categories is not None:
             from repro.sim import Probe

@@ -175,6 +175,17 @@ class RequestHandlers:
         yield from conn.socket.send(response.wire_bytes, payload=response.header_text())
         yield from conn.socket.close()
         request = conn.request
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.complete(
+                f"http.{request.method.lower()}" if request else "http.error",
+                "webserver",
+                conn.started_at if conn.started_at is not None else conn.accepted_at,
+                tid=conn.conn_id,
+                path=request.path if request else "?",
+                status=response.status,
+                data_bytes=response.body_bytes,
+            )
         self.metrics.record(
             RequestRecord(
                 index=self.metrics.count + 1,

@@ -46,6 +46,8 @@ class HostConfig:
     disk_geometry: DiskGeometry = field(default_factory=DiskGeometry)
     server: WebServerConfig = field(default_factory=WebServerConfig)
     vm_profile: str = "sscli"
+    #: Optional :class:`repro.obs.Tracer` shared by the whole stack.
+    tracer: Optional[object] = None
 
 
 class WebServerHost:
@@ -59,7 +61,8 @@ class WebServerHost:
     def __init__(self, config: Optional[HostConfig] = None) -> None:
         self.config = config or HostConfig()
         cfg = self.config
-        self.engine = Engine()
+        self.engine = Engine(tracer=cfg.tracer)
+        self.engine.tracer.name_process("webserver")
         self.disk = Disk(
             self.engine,
             geometry=cfg.disk_geometry,

@@ -1,0 +1,111 @@
+"""Exporters: Chrome trace_event structure and JSONL round-trips."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs import (
+    Tracer,
+    read_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.sim import Engine
+
+
+def _recorded_tracer():
+    tracer = Tracer()
+    eng = Engine(tracer=tracer)
+
+    def proc():
+        start = eng.now
+        yield eng.timeout(0.002)
+        tracer.complete("disk.read", "storage", start, lba=128)
+        tracer.instant("cache.evict", "io", page=3)
+        tracer.counter("queue", "storage", 2)
+
+    eng.process(proc(), name="worker")
+    eng.run()
+    tracer.name_process("unit-test")
+    return tracer
+
+
+def test_chrome_trace_structure():
+    doc = to_chrome_trace(_recorded_tracer())
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = doc["traceEvents"]
+    by_ph = {}
+    for event in events:
+        by_ph.setdefault(event["ph"], []).append(event)
+    # Metadata names the process group.
+    meta = by_ph["M"][0]
+    assert meta["name"] == "process_name"
+    assert meta["args"]["name"] == "unit-test"
+    # Complete spans carry microsecond ts/dur.
+    read = next(e for e in by_ph["X"] if e["name"] == "disk.read")
+    assert read["cat"] == "storage"
+    assert read["ts"] == pytest.approx(0.0)
+    assert read["dur"] == pytest.approx(2000.0)  # 0.002 s → 2000 µs
+    assert read["args"]["lba"] == 128
+    # Instants are thread-scoped.
+    evict = next(e for e in by_ph["i"] if e["name"] == "cache.evict")
+    assert evict["s"] == "t"
+    # Counters put the value under the series name.
+    queue = next(e for e in by_ph["C"] if e["name"] == "queue")
+    assert queue["args"] == {"queue": 2}
+
+
+def test_chrome_trace_json_serializable_and_counted(tmp_path):
+    tracer = _recorded_tracer()
+    path = tmp_path / "trace.json"
+    n = write_chrome_trace(str(path), tracer)
+    doc = json.loads(path.read_text())
+    non_meta = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert n == len(non_meta)
+
+
+def test_chrome_trace_merges_tracers_with_pid_offsets():
+    first, second = _recorded_tracer(), _recorded_tracer()
+    doc = to_chrome_trace([first, second])
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert len(pids) == 2  # no collision between the two tracers
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = _recorded_tracer()
+    path = tmp_path / "trace.jsonl"
+    n = write_jsonl(str(path), tracer)
+    assert n == len(tracer.events)
+    assert read_jsonl(str(path)) == tracer.events
+
+
+def test_jsonl_lines_are_stable_golden_shape():
+    tracer = _recorded_tracer()
+    line = json.loads(to_jsonl(tracer)[0])
+    assert set(line) == {"kind", "name", "cat", "start", "end", "id",
+                         "parent", "pid", "tid", "attrs"}
+    assert line["kind"] == "span"
+    assert line["name"] == "disk.read"
+
+
+def test_read_jsonl_rejects_malformed_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "span"\n')
+    with pytest.raises(SimulationError, match="bad.jsonl:1"):
+        read_jsonl(str(path))
+
+
+def test_read_jsonl_skips_blank_lines(tmp_path):
+    tracer = _recorded_tracer()
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(str(path), tracer)
+    path.write_text(path.read_text() + "\n\n")
+    assert len(read_jsonl(str(path))) == len(tracer.events)
+
+
+def test_chrome_trace_rejects_non_tracer():
+    with pytest.raises(SimulationError):
+        to_chrome_trace(["not a tracer"])

@@ -1,0 +1,44 @@
+"""Docs stay honest: run tools/check_docs.py as part of the suite."""
+
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parents[1] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_docs  # noqa: E402
+
+
+def test_doc_files_exist():
+    missing = [rel for rel in check_docs.DOC_FILES
+               if not (check_docs.REPO_ROOT / rel).exists()]
+    assert not missing
+
+
+def test_docs_lint_clean():
+    problems = check_docs.run_checks()
+    assert not problems, "\n".join(problems)
+
+
+def test_lint_catches_dead_link(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("see [missing](no/such/file.md) and [ok](doc.md)\n")
+    problems = check_docs.check_links(doc, doc.read_text())
+    assert len(problems) == 1
+    assert "no/such/file.md" in problems[0]
+
+
+def test_lint_catches_bad_import(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "```python\nfrom repro.obs import Tracer, NoSuchThing\n```\n"
+    )
+    problems = check_docs.check_imports(doc, doc.read_text())
+    assert len(problems) == 1
+    assert "NoSuchThing" in problems[0]
+
+
+def test_lint_ignores_non_python_fences(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text("```text\nfrom repro.nowhere import X\n```\n")
+    assert check_docs.check_imports(doc, doc.read_text()) == []
