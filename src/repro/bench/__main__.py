@@ -6,8 +6,10 @@
     python -m repro.bench --json results.json   # machine-readable dump
     python -m repro.bench tab1 --trace-out t.json   # Chrome/Perfetto trace
     python -m repro.bench tab1 --trace-jsonl t.jsonl  # JSONL event dump
+    python -m repro.bench --baseline-out BENCH_now.json  # gate snapshot
 
-See docs/observability.md for the trace formats and how to view them.
+See docs/observability.md for the trace formats, the baseline schema,
+and the regression gate (``python -m repro.obs gate``).
 """
 
 from __future__ import annotations
@@ -43,6 +45,12 @@ def main(argv=None) -> int:
         dest="trace_jsonl",
         help="record simulation spans and write them as JSON-lines",
     )
+    parser.add_argument(
+        "--baseline-out",
+        dest="baseline_out",
+        help="write a machine-readable metric snapshot for the "
+        "regression gate (python -m repro.obs gate)",
+    )
     args = parser.parse_args(argv)
 
     tracer = None
@@ -54,6 +62,7 @@ def main(argv=None) -> int:
     exp_ids = args.experiments or sorted(ALL_EXPERIMENTS)
     blocks = []
     dumps = []
+    results = []
     for exp_id in exp_ids:
         t0 = time.perf_counter()
         result = run_experiment(exp_id, tracer=tracer)
@@ -62,6 +71,7 @@ def main(argv=None) -> int:
         print(block)
         print()
         blocks.append(block)
+        results.append(result)
         entry = result.to_dict()
         entry["wall_seconds"] = round(elapsed, 3)
         dumps.append(entry)
@@ -72,6 +82,14 @@ def main(argv=None) -> int:
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as fh:
             json.dump(dumps, fh, indent=2)
+    if args.baseline_out:
+        from repro.obs.report import write_baseline
+
+        doc = write_baseline(args.baseline_out, results,
+                             label=" ".join(exp_ids))
+        n_metrics = sum(len(e["metrics"]) for e in doc["experiments"].values())
+        print(f"wrote baseline for {len(doc['experiments'])} experiments "
+              f"({n_metrics} metrics) to {args.baseline_out}")
     if tracer is not None:
         from repro.obs import write_chrome_trace, write_jsonl
 

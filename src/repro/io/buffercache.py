@@ -195,6 +195,9 @@ class BufferCache:
                 yield ev
         # Software delivery cost for every page touched.
         yield self.engine.timeout(self.params.page_touch_cost * npages)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.counter("cache.hit_ratio", "io", self.stats.hit_ratio)
         return hits, misses
 
     def _fetch_run(self, inode: "Inode", first_page: int, npages: int):

@@ -11,7 +11,13 @@ subsystem rather than per-module ad-hoc counters:
   ``Counter``/``Tally``/``TimeWeighted``/``Histogram`` collectors with
   a single ``snapshot()``;
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
-  Perfetto) and JSONL exporters.
+  Perfetto) and JSONL exporters;
+* :mod:`repro.obs.analysis` / :mod:`repro.obs.report` —
+  :func:`analyze` turns a trace into self/total rollups, a per-layer
+  critical path, percentiles, utilization and a directly-follows
+  graph; ``python -m repro.obs report`` renders it, and
+  ``python -m repro.obs gate`` compares two bench baseline snapshots
+  and fails on regression.
 
 Turn the whole stack on with one line::
 
@@ -44,6 +50,16 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.analysis import PathStep, TraceAnalysis, analyze
+from repro.obs.report import (
+    GateFinding,
+    build_baseline,
+    gate_compare,
+    load_baseline,
+    render_gate_report,
+    render_trace_report,
+    write_baseline,
+)
 
 __all__ = [
     "Tracer",
@@ -59,4 +75,14 @@ __all__ = [
     "to_jsonl",
     "write_jsonl",
     "read_jsonl",
+    "TraceAnalysis",
+    "PathStep",
+    "analyze",
+    "render_trace_report",
+    "build_baseline",
+    "write_baseline",
+    "load_baseline",
+    "gate_compare",
+    "GateFinding",
+    "render_gate_report",
 ]

@@ -1,0 +1,91 @@
+"""Analyze traces and gate benchmark baselines::
+
+    python -m repro.bench tab1 --trace-jsonl tab1.jsonl
+    python -m repro.obs report tab1.jsonl            # where did time go?
+
+    python -m repro.bench --baseline-out BENCH_now.json
+    python -m repro.obs gate --baseline BENCH_seed.json \
+        --candidate BENCH_now.json --threshold 10%
+
+Exit codes: ``report`` returns 0 (2 on unreadable input); ``gate``
+returns 0 when no metric regresses beyond the threshold, 1 when one
+does, 2 on unreadable/invalid baselines.
+
+See docs/observability.md ("Analysis & regression gate") for the
+report sections, the baseline schema, and a worked example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.obs.analysis import analyze
+from repro.obs.export import read_jsonl
+from repro.obs.report import (
+    gate_compare,
+    load_baseline,
+    parse_threshold,
+    render_gate_report,
+    render_trace_report,
+)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        events = read_jsonl(args.trace)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_trace_report(analyze(events), top=args.top))
+    return 0
+
+
+def _cmd_gate(args: argparse.Namespace) -> int:
+    try:
+        threshold = parse_threshold(args.threshold)
+        baseline = load_baseline(args.baseline)
+        candidate = load_baseline(args.candidate)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings = gate_compare(baseline, candidate, threshold=threshold)
+    print(render_gate_report(findings, threshold, verbose=args.verbose))
+    return 1 if any(f.regression for f in findings) else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="trace analysis reports and the bench regression gate",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="render the analysis report for a JSONL trace"
+    )
+    report.add_argument("trace", help="trace file from --trace-jsonl")
+    report.add_argument("--top", type=int, default=20,
+                        help="rows per table section (default 20)")
+    report.set_defaults(fn=_cmd_report)
+
+    gate = sub.add_parser(
+        "gate", help="compare two bench baselines; nonzero on regression"
+    )
+    gate.add_argument("--baseline", required=True,
+                      help="reference snapshot (e.g. BENCH_seed.json)")
+    gate.add_argument("--candidate", required=True,
+                      help="snapshot from the current tree")
+    gate.add_argument("--threshold", default="10%",
+                      help="relative regression threshold, e.g. 10%% or 0.1")
+    gate.add_argument("--verbose", action="store_true",
+                      help="also print metrics that did not move")
+    gate.set_defaults(fn=_cmd_gate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

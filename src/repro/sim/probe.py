@@ -30,6 +30,7 @@ tracer the engine uses::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, TYPE_CHECKING
 
@@ -104,6 +105,12 @@ class Probe:
         capacity: Optional[int] = 100_000,
         tracer: Optional[Tracer] = None,
     ) -> None:
+        warnings.warn(
+            "Probe is deprecated; use repro.obs.Tracer via engine.tracer "
+            "instead (see docs/observability.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if capacity is not None and capacity < 1:
             raise SimulationError(f"capacity must be >= 1 or None, got {capacity}")
         self.engine = engine

@@ -223,5 +223,43 @@ class Histogram:
             raise SimulationError(f"Histogram {self.name!r}: empty")
         return int(np.argmax(self.counts))
 
+    def percentile(self, q: float) -> float:
+        """Percentile estimated from the binned counts, ``q`` in [0, 100].
+
+        Mass is interpolated linearly within each bin.  The histogram
+        does not retain exact sample values, so underflow mass counts
+        as sitting at ``low`` and overflow mass at ``high`` — the
+        estimate is always within ``[low, high]``.  An empty histogram
+        or an out-of-range ``q`` raises
+        :class:`~repro.errors.SimulationError`.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise SimulationError(
+                f"Histogram {self.name!r}: percentile q={q} outside [0, 100]"
+            )
+        if self._n == 0:
+            raise SimulationError(
+                f"Histogram {self.name!r}: percentile of no observations"
+            )
+        if q == 0.0:
+            # Left edge of the first recorded mass.
+            if self.underflow:
+                return self.low
+            nonzero = np.flatnonzero(self.counts)
+            if nonzero.size:
+                return self.low + int(nonzero[0]) * self._width
+            return self.high  # only overflow recorded
+        target = (q / 100.0) * self._n
+        cum = float(self.underflow)
+        if self.underflow and target <= cum:
+            return self.low
+        for i, c in enumerate(self.counts):
+            c = int(c)
+            if c and target <= cum + c:
+                frac = (target - cum) / c
+                return self.low + (i + frac) * self._width
+            cum += c
+        return self.high  # target lands in the overflow mass
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Histogram {self.name} n={self._n} [{self.low:g},{self.high:g})x{self.bins}>"

@@ -43,6 +43,45 @@ class RequestRecord:
         return to_ms(self.response_time)
 
 
+class _MillisecondView:
+    """Read-only registry adapter presenting a seconds :class:`Tally`
+    in milliseconds.
+
+    Quacks like a tally (``count``/``total``/``mean``/``minimum``/
+    ``maximum``/``percentile``) so :meth:`MetricsRegistry.snapshot`
+    summarizes it structurally; analysis code can call
+    ``percentile(q)`` for ms-unit distribution stats.
+    """
+
+    __slots__ = ("_tally",)
+
+    def __init__(self, tally: Tally) -> None:
+        self._tally = tally
+
+    @property
+    def count(self) -> int:
+        return self._tally.count
+
+    @property
+    def total(self) -> float:
+        return to_ms(self._tally.total)
+
+    @property
+    def mean(self) -> float:
+        return to_ms(self._tally.mean)
+
+    @property
+    def minimum(self) -> float:
+        return to_ms(self._tally.minimum)
+
+    @property
+    def maximum(self) -> float:
+        return to_ms(self._tally.maximum)
+
+    def percentile(self, q: float) -> float:
+        return to_ms(self._tally.percentile(q))
+
+
 class ServerMetrics:
     """Accumulates request records and summary tallies."""
 
@@ -52,6 +91,26 @@ class ServerMetrics:
         self.write_times = Tally("server.write")
         self.response_times = Tally("server.response")
         self.errors = 0
+
+    def bind(self, registry, **labels) -> None:
+        """Register the tallies in an engine's
+        :class:`~repro.obs.MetricsRegistry` so server latencies appear
+        in ``snapshot()`` like every other collector.
+
+        Each tally is registered twice: raw seconds under its own name
+        (``server.read`` ...) and a millisecond view under the labeled
+        ``webserver.*_ms`` names the analysis layer consumes.
+        """
+        views = (
+            (self.read_times, "webserver.read_ms"),
+            (self.write_times, "webserver.write_ms"),
+            (self.response_times, "webserver.response_ms"),
+        )
+        for tally, ms_name in views:
+            registry.register(tally.name, tally, unit="s", **labels)
+            registry.register(ms_name, _MillisecondView(tally),
+                              unit="ms", **labels)
+        registry.gauge("webserver.errors", lambda: self.errors, **labels)
 
     def record(self, record: RequestRecord) -> None:
         self.requests.append(record)

@@ -110,12 +110,7 @@ class WebServer:
         self.listener = TcpListener(network, self.config.host, self.config.port)
         self.threads_spawned = Counter("server.threads")
         reg = engine.metrics
-        for tally in (
-            self.metrics.read_times,
-            self.metrics.write_times,
-            self.metrics.response_times,
-        ):
-            reg.register(tally.name, tally, server=self.config.host)
+        self.metrics.bind(reg, server=self.config.host)
         reg.register(self.threads_spawned.name, self.threads_spawned,
                      server=self.config.host)
         self._threads: List[ManagedThread] = []

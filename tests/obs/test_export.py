@@ -109,3 +109,30 @@ def test_read_jsonl_skips_blank_lines(tmp_path):
 def test_chrome_trace_rejects_non_tracer():
     with pytest.raises(SimulationError):
         to_chrome_trace(["not a tracer"])
+
+
+def test_jsonl_counter_samples_round_trip_exactly(tmp_path):
+    """Counter fidelity contract for analysis: sample order, values,
+    names/labels, and timestamps all survive a JSONL round trip."""
+    tracer = Tracer()
+    eng = Engine(tracer=tracer)
+
+    def proc():
+        for depth in (3, 1, 4, 1, 5):
+            tracer.counter("disk.queue", "storage", depth)
+            tracer.counter("cache.hit_ratio", "io", depth / 10.0)
+            yield eng.timeout(0.125)
+
+    eng.process(proc(), name="sampler")
+    eng.run()
+    path = tmp_path / "counters.jsonl"
+    write_jsonl(str(path), tracer)
+    reloaded = read_jsonl(str(path))
+    original = [e for e in tracer.events if e.kind == "counter"]
+    loaded = [e for e in reloaded if e.kind == "counter"]
+    assert loaded == original
+    assert [e.attrs["value"] for e in loaded if e.name == "disk.queue"] == \
+        [3, 1, 4, 1, 5]
+    assert [e.start for e in loaded if e.name == "cache.hit_ratio"] == \
+        [i * 0.125 for i in range(5)]
+    assert all(e.category in {"storage", "io"} for e in loaded)

@@ -119,3 +119,15 @@ def test_probe_off_by_default_costs_nothing():
     fs = FileSystem(eng, disk)
     assert isinstance(fs.probe, NullProbe)
     assert isinstance(fs.cache.probe, NullProbe)
+
+
+def test_probe_construction_warns_deprecation():
+    eng = Engine()
+    with pytest.warns(DeprecationWarning, match="Probe is deprecated"):
+        probe = Probe(eng)
+    # The adapter still behaves exactly as before the deprecation.
+    probe.record("disk", "op", lba=7)
+    assert len(probe) == 1
+    entry = probe.entries[0]
+    assert (entry.category, entry.message, entry.fields) == ("disk", "op", {"lba": 7})
+    assert probe.render() != ""

@@ -93,3 +93,53 @@ def test_histogram_edges_and_validation():
         Histogram(1.0, 1.0, bins=2)
     with pytest.raises(SimulationError):
         Histogram(0.0, 1.0, bins=3).mode_bin()
+
+
+def test_histogram_percentile_interpolates_within_bins():
+    h = Histogram(0.0, 10.0, bins=10)
+    for v in range(10):  # one sample per bin
+        h.record(v + 0.5)
+    # Mass interpolates linearly: p50 sits at the end of the 5th bin.
+    assert h.percentile(50) == pytest.approx(5.0)
+    assert h.percentile(90) == pytest.approx(9.0)
+    assert 9.0 <= h.percentile(99) <= 10.0
+    assert h.percentile(10) == pytest.approx(1.0)
+
+
+def test_histogram_percentile_empty_raises():
+    h = Histogram(0.0, 1.0, bins=4)
+    with pytest.raises(SimulationError):
+        h.percentile(50)
+
+
+def test_histogram_percentile_out_of_range_q_raises():
+    h = Histogram(0.0, 1.0, bins=4)
+    h.record(0.5)
+    for bad_q in (-1, -0.001, 100.001, 200):
+        with pytest.raises(SimulationError):
+            h.percentile(bad_q)
+
+
+def test_histogram_percentile_q0_and_q100_extremes():
+    h = Histogram(0.0, 10.0, bins=10)
+    h.record(2.5)  # bin 2
+    h.record(7.5)  # bin 7
+    assert h.percentile(0) == pytest.approx(2.0)   # left edge of first mass
+    assert h.percentile(100) == pytest.approx(8.0)  # right edge of last mass
+
+
+def test_histogram_percentile_single_sample():
+    h = Histogram(0.0, 10.0, bins=10)
+    h.record(3.7)  # bin 3 spans [3, 4)
+    for q in (0, 25, 50, 75, 100):
+        assert 3.0 <= h.percentile(q) <= 4.0
+
+
+def test_histogram_percentile_with_under_and_overflow():
+    h = Histogram(0.0, 10.0, bins=10)
+    h.record(-5.0)   # underflow counts as mass at low
+    h.record(5.5)
+    h.record(99.0)   # overflow counts as mass at high
+    assert h.percentile(0) == 0.0
+    assert h.percentile(100) == 10.0
+    assert 5.0 <= h.percentile(50) <= 6.0

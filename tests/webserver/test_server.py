@@ -189,3 +189,27 @@ def test_double_start_rejected(host):
 
     with pytest.raises(ReproError):
         host.engine.run_process(host.server.start())
+
+
+def test_server_latencies_registered_in_metrics_registry(host):
+    host.run_request_sequence(
+        [("GET", "/images/photo3.jpg"), ("POST", "/u", 5000)]
+    )
+    snap = host.engine.metrics.snapshot()
+    for name in ("webserver.read_ms", "webserver.write_ms",
+                 "webserver.response_ms"):
+        entry = snap[name]
+        assert entry["type"] == "tally"
+        assert entry["count"] >= 1
+        assert entry["labels"]["unit"] == "ms"
+    # The ms views report the same latencies as the raw tallies, x1e3.
+    assert snap["webserver.read_ms"]["mean"] == pytest.approx(
+        snap["server.read"]["mean"] * 1e3
+    )
+    registry = host.engine.metrics
+    view = registry.get("webserver.response_ms")
+    assert view.percentile(50) == pytest.approx(
+        host.metrics.response_times.percentile(50) * 1e3
+    )
+    assert snap["webserver.errors"] == {"type": "gauge", "value": 0,
+                                        "labels": {"server": host.config.server.host}}
