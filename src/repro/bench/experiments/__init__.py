@@ -16,6 +16,7 @@ from repro.bench.experiments.extensions import (
     run_ext_scheduler,
     run_ext_vm,
 )
+from repro.bench.experiments.faults import run_ext_degraded, run_ext_faults
 
 from repro.errors import BenchmarkError
 
@@ -40,6 +41,8 @@ ALL_EXPERIMENTS = {
     "ext_dist": run_ext_dist,
     "ext_eviction": run_ext_eviction,
     "ext_pgrep": run_ext_pgrep,
+    "ext_faults": run_ext_faults,
+    "ext_degraded": run_ext_degraded,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "run_experiment"] + sorted(

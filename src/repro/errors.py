@@ -14,6 +14,8 @@ __all__ = [
     "DeadlockError",
     "StorageError",
     "DiskError",
+    "MediaError",
+    "DiskFailedError",
     "FileSystemError",
     "FileNotFound",
     "FileExists",
@@ -30,7 +32,11 @@ __all__ = [
     "TraceError",
     "TraceFormatError",
     "HttpError",
+    "ConnectionReset",
     "BenchmarkError",
+    "FaultError",
+    "RetryExhausted",
+    "OperationTimeout",
 ]
 
 
@@ -61,6 +67,22 @@ class StorageError(ReproError):
 
 class DiskError(StorageError):
     """Invalid request against a disk (out-of-range LBA, zero length...)."""
+
+
+class MediaError(DiskError):
+    """A block transfer failed with an unrecoverable media (ECC) error.
+
+    Transient by nature: the same LBA may read fine on the next attempt,
+    which is what retry policies exploit.
+    """
+
+
+class DiskFailedError(DiskError):
+    """The whole device is offline (injected failure or pulled drive).
+
+    Unlike :class:`MediaError` this is persistent until the disk is
+    repaired/replaced; arrays respond by entering degraded mode.
+    """
 
 
 class FileSystemError(StorageError):
@@ -149,9 +171,39 @@ class HttpError(ReproError):
         self.message = message
 
 
+class ConnectionReset(ReproError):
+    """The peer (or an injected fault) tore the connection down while
+    data was still in flight."""
+
+
 # --------------------------------------------------------------------------
 # Benchmark harness
 # --------------------------------------------------------------------------
 
 class BenchmarkError(ReproError):
     """An experiment failed its configuration sanity checks."""
+
+
+# --------------------------------------------------------------------------
+# Fault injection / resilience
+# --------------------------------------------------------------------------
+
+class FaultError(ReproError):
+    """Invalid fault-plan construction (bad kind, empty window, ...)."""
+
+
+class RetryExhausted(ReproError):
+    """A retried operation failed on every allowed attempt.
+
+    The original failure is available as ``last_error``.
+    """
+
+    def __init__(self, message: str, last_error: Exception = None,
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+        self.attempts = attempts
+
+
+class OperationTimeout(ReproError):
+    """A single attempt exceeded the retry policy's per-op timeout."""

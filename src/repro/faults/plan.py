@@ -1,0 +1,190 @@
+"""Declarative, deterministic fault plans.
+
+A :class:`FaultPlan` is a seed plus an ordered list of :class:`FaultSpec`
+entries.  The plan itself is pure data — it never touches the engine —
+so the same plan object can be replayed against any number of runs and,
+given the same seed, produces byte-identical fault schedules (the
+determinism contract tested in ``tests/faults``).
+
+Fault kinds
+-----------
+
+``disk.media_error``
+    A block transfer fails with :class:`~repro.errors.MediaError` after
+    paying its full mechanical service time (the drive retried
+    internally, then gave up).  Transient: a retry of the same LBA may
+    succeed.
+``disk.slow``
+    The request completes, but service time is multiplied by
+    ``slow_factor`` (firmware retries / thermal recalibration).
+``disk.stall``
+    The request completes after an additional fixed ``delay`` seconds —
+    long enough to trip per-op timeouts upstream.
+``disk.fail``
+    The whole device goes offline at ``start``; every queued and future
+    request fails with :class:`~repro.errors.DiskFailedError` until the
+    disk is repaired.  Arrays respond by serving degraded reads.
+``net.drop``
+    An in-flight connection is torn down; both endpoints observe
+    :class:`~repro.errors.ConnectionReset`.
+
+Probabilistic kinds (everything except ``disk.fail``) draw one uniform
+variate per candidate operation from a stream named after the spec, so
+adding a spec never perturbs the draws of another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import FaultError
+
+__all__ = ["FaultSpec", "FaultPlan", "FAULT_KINDS"]
+
+FAULT_KINDS = (
+    "disk.media_error",
+    "disk.slow",
+    "disk.stall",
+    "disk.fail",
+    "net.drop",
+)
+
+_PROBABILISTIC = frozenset(k for k in FAULT_KINDS if k != "disk.fail")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    target:
+        Device name (``disk.*`` kinds) or connection scope (``net.drop``;
+        ``"*"`` matches any target).
+    start, end:
+        Simulated-time window in which the rule is armed.  ``end=None``
+        means "until the end of the run".  ``disk.fail`` ignores ``end``
+        and fires exactly once at ``start``.
+    probability:
+        Per-operation firing probability for probabilistic kinds.
+    lba_range:
+        Optional ``(lo, hi)`` half-open LBA filter for disk kinds — only
+        requests overlapping the range are candidates.
+    slow_factor:
+        Service-time multiplier for ``disk.slow``.
+    delay:
+        Extra seconds for ``disk.stall``.
+    max_hits:
+        Budget of firings; ``None`` = unlimited.
+    """
+
+    kind: str
+    target: str = "*"
+    start: float = 0.0
+    end: Optional[float] = None
+    probability: float = 1.0
+    lba_range: Optional[Tuple[int, int]] = None
+    slow_factor: float = 4.0
+    delay: float = 0.25
+    max_hits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.start < 0:
+            raise FaultError(f"start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise FaultError(
+                f"empty fault window [{self.start}, {self.end})"
+            )
+        if not (0.0 <= self.probability <= 1.0):
+            raise FaultError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.lba_range is not None:
+            lo, hi = self.lba_range
+            if lo < 0 or hi <= lo:
+                raise FaultError(f"bad lba_range ({lo}, {hi})")
+        if self.slow_factor < 1.0:
+            raise FaultError(f"slow_factor must be >= 1, got {self.slow_factor}")
+        if self.delay < 0:
+            raise FaultError(f"delay must be >= 0, got {self.delay}")
+        if self.max_hits is not None and self.max_hits < 1:
+            raise FaultError(f"max_hits must be >= 1, got {self.max_hits}")
+
+    @property
+    def probabilistic(self) -> bool:
+        return self.kind in _PROBABILISTIC
+
+    def active_at(self, now: float) -> bool:
+        """True when the rule's window covers simulated time ``now``."""
+        if now < self.start:
+            return False
+        return self.end is None or now < self.end
+
+    def matches_target(self, target: str) -> bool:
+        return self.target == "*" or self.target == target
+
+    def matches_lba(self, lba: int, nblocks: int) -> bool:
+        if self.lba_range is None:
+            return True
+        lo, hi = self.lba_range
+        return lba < hi and lba + nblocks > lo
+
+    def stream_name(self, index: int) -> str:
+        """Name of the seeded stream this spec draws from.
+
+        The index keeps two otherwise-identical specs independent.
+        """
+        return f"fault/{index}/{self.kind}/{self.target}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered list of fault rules.
+
+    Matching is first-match-wins in list order, so put the most specific
+    rules first.  An empty plan is valid and injects nothing.
+    """
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of specs but store a tuple so plans are
+        # hashable and safely shared across runs.
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+        for spec in self.specs:
+            if not isinstance(spec, FaultSpec):
+                raise FaultError(f"specs must be FaultSpec, got {type(spec).__name__}")
+
+    def for_kind(self, *kinds: str) -> List[Tuple[int, FaultSpec]]:
+        """``(index, spec)`` pairs whose kind is in ``kinds``, plan order."""
+        return [(i, s) for i, s in enumerate(self.specs) if s.kind in kinds]
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-rule summary."""
+        if not self.specs:
+            return f"FaultPlan(seed={self.seed}): no faults"
+        lines = [f"FaultPlan(seed={self.seed}): {len(self.specs)} rule(s)"]
+        for i, s in enumerate(self.specs):
+            window = f"[{s.start:g}, {'inf' if s.end is None else f'{s.end:g}'})"
+            parts = [f"  #{i} {s.kind} target={s.target} window={window}"]
+            if s.probabilistic:
+                parts.append(f"p={s.probability:g}")
+            if s.lba_range is not None:
+                parts.append(f"lba={s.lba_range}")
+            if s.kind == "disk.slow":
+                parts.append(f"x{s.slow_factor:g}")
+            if s.kind == "disk.stall":
+                parts.append(f"+{s.delay:g}s")
+            if s.max_hits is not None:
+                parts.append(f"max_hits={s.max_hits}")
+            lines.append(" ".join(parts))
+        return "\n".join(lines)

@@ -80,6 +80,8 @@ class CacheStats:
     prefetch_hits: int = 0
     evictions: int = 0
     writebacks: int = 0
+    fetch_failures: int = 0
+    writeback_failures: int = 0
 
     @property
     def accesses(self) -> int:
@@ -193,6 +195,10 @@ class BufferCache:
         for ev in waits:
             if not ev.processed:
                 yield ev
+            elif not ev.ok:
+                # The fetch we piggybacked on already failed; surface it
+                # instead of pretending the page arrived.
+                raise ev.value
         # Software delivery cost for every page touched.
         yield self.engine.timeout(self.params.page_touch_cost * npages)
         tracer = self.engine.tracer
@@ -222,9 +228,31 @@ class BufferCache:
 
     def _complete_fetch(self, inode: "Inode", first_page: int, npages: int, done: Event):
         """Generator: issue the device reads for an already-registered
-        in-flight run and publish the pages when they land."""
-        for ev in self._issue_reads(inode, first_page, npages):
-            yield ev
+        in-flight run and publish the pages when they land.
+
+        A failed device read (media error, offline disk) must unwind the
+        in-flight registrations and fail ``done`` — otherwise demand
+        readers waiting on the run would block forever — before the
+        error propagates to whoever issued the fetch.
+        """
+        try:
+            for ev in self._issue_reads(inode, first_page, npages):
+                yield ev
+        except StorageError as exc:
+            self.stats.fetch_failures += 1
+            for page in range(first_page, first_page + npages):
+                self._inflight.pop((inode.file_id, page), None)
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.instant("cache.fetch_failed", "io",
+                               file=inode.file_id, first_page=first_page,
+                               npages=npages, error=type(exc).__name__)
+            # Background prefetches may have no waiters; the sacrificial
+            # callback keeps the engine from raising on the unobserved
+            # failure.
+            done.add_callback(lambda ev: None)
+            done.fail(exc)
+            raise
         self._finish_fetch(inode, first_page, npages, done)
 
     def _begin_fetch(self, inode: "Inode", first_page: int, npages: int) -> Event:
@@ -371,11 +399,23 @@ class BufferCache:
 
     def _writeback_async(self, inode: "Inode", pages: List[int]) -> None:
         def writer():
-            for start, length in _contiguous_runs(pages):
-                for lba, nblocks in inode.physical_runs(
-                    start * self.blocks_per_page, length * self.blocks_per_page
-                ):
-                    yield self.device.submit_range(lba, nblocks, is_write=True)
+            try:
+                for start, length in _contiguous_runs(pages):
+                    for lba, nblocks in inode.physical_runs(
+                        start * self.blocks_per_page, length * self.blocks_per_page
+                    ):
+                        yield self.device.submit_range(lba, nblocks, is_write=True)
+            except StorageError as exc:
+                # Background write-back against a failing device: count
+                # it rather than crash the daemon; the data stays lost
+                # (no payloads in the model), which sync paths surface.
+                self.stats.writeback_failures += 1
+                tracer = self.engine.tracer
+                if tracer.enabled:
+                    tracer.instant("cache.writeback_failed", "io",
+                                   file=inode.file_id,
+                                   error=type(exc).__name__)
+                return
             self.stats.writebacks += len(pages)
 
         self.engine.process(writer(), name=f"writeback[{inode.file_id}]", daemon=True)

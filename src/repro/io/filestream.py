@@ -12,6 +12,13 @@ All methods that move data are generator coroutines::
     stream = yield from FileStream.open(fs, "/www/pic.jpg", FileMode.OPEN)
     n = yield from stream.read(4096)
     yield from stream.close()
+
+Resilience: pass a :class:`repro.faults.Retrier` to :meth:`open` and
+every ``read``/``write`` runs under its policy.  Retried attempts use
+the file system's *explicit-offset* path (which never advances the
+handle position), so a retry — even one racing an abandoned timed-out
+attempt — cannot double-advance the stream; the position moves exactly
+once, after the attempt that succeeds.
 """
 
 from __future__ import annotations
@@ -45,20 +52,32 @@ class SeekOrigin(enum.Enum):
 class FileStream:
     """A positioned byte stream over one open file."""
 
-    def __init__(self, fs: FileSystem, handle: FileHandle, mode: FileMode) -> None:
+    def __init__(self, fs: FileSystem, handle: FileHandle, mode: FileMode,
+                 retrier=None) -> None:
         self.fs = fs
         self.handle = handle
         self.mode = mode
+        self.retrier = retrier
 
     # -- lifecycle -------------------------------------------------------------
 
     @classmethod
-    def open(cls, fs: FileSystem, path: str, mode: FileMode = FileMode.OPEN):
-        """Generator: construct a stream (the paper's component (1))."""
+    def open(cls, fs: FileSystem, path: str, mode: FileMode = FileMode.OPEN,
+             retrier=None):
+        """Generator: construct a stream (the paper's component (1)).
+
+        ``retrier`` (a :class:`repro.faults.Retrier`) makes the open
+        itself — for the idempotent read-only mode — and all subsequent
+        reads/writes retry transient faults under its policy.
+        """
         tracer = fs.engine.tracer
         started = fs.engine.now if tracer.enabled else 0.0
         if mode is FileMode.OPEN:
-            handle = yield from fs.open(path, writable=False)
+            if retrier is not None:
+                handle = yield from retrier.call(
+                    lambda: fs.open(path, writable=False), op="stream.open")
+            else:
+                handle = yield from fs.open(path, writable=False)
         elif mode is FileMode.CREATE:
             if fs.exists(path):
                 yield from fs.delete(path)
@@ -73,7 +92,7 @@ class FileStream:
         if tracer.enabled:
             tracer.complete("stream.open", "io", started,
                             path=path, mode=mode.value)
-        return cls(fs, handle, mode)
+        return cls(fs, handle, mode, retrier=retrier)
 
     def close(self):
         """Generator: flush and release (the paper's component (3))."""
@@ -97,12 +116,28 @@ class FileStream:
     def read(self, nbytes: int):
         """Generator: read up to ``nbytes`` at the stream position
         (the paper's component (2)).  Returns bytes read (0 at EOF)."""
-        count = yield from self.fs.read(self.handle, nbytes)
+        if self.retrier is None:
+            count = yield from self.fs.read(self.handle, nbytes)
+            return count
+        # Explicit offset keeps each attempt idempotent; advance the
+        # position once, only after an attempt lands.
+        pos = self.handle.position
+        count = yield from self.retrier.call(
+            lambda: self.fs.read(self.handle, nbytes, offset=pos),
+            op="stream.read")
+        self.handle.position = pos + count
         return count
 
     def write(self, nbytes: int):
         """Generator: write ``nbytes`` at the stream position."""
-        count = yield from self.fs.write(self.handle, nbytes)
+        if self.retrier is None:
+            count = yield from self.fs.write(self.handle, nbytes)
+            return count
+        pos = self.handle.position
+        count = yield from self.retrier.call(
+            lambda: self.fs.write(self.handle, nbytes, offset=pos),
+            op="stream.write")
+        self.handle.position = pos + count
         return count
 
     def seek(self, offset: int, origin: SeekOrigin = SeekOrigin.BEGIN):

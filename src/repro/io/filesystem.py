@@ -40,6 +40,10 @@ from repro.sim import Counter, Engine, Tally
 
 __all__ = ["FsParams", "Inode", "FileHandle", "FileSystem"]
 
+# Fallback allocators for Inode/FileHandle objects built outside a
+# FileSystem (tests, ad-hoc tools).  The file system allocates from
+# per-instance counters so two runs in the same interpreter produce
+# identical ids — part of the determinism contract.
 _file_ids = itertools.count(1)
 _handle_ids = itertools.count(1)
 
@@ -88,8 +92,9 @@ class Inode:
     O(log extents).
     """
 
-    def __init__(self, path: str, block_size: int) -> None:
-        self.file_id = next(_file_ids)
+    def __init__(self, path: str, block_size: int,
+                 file_id: Optional[int] = None) -> None:
+        self.file_id = next(_file_ids) if file_id is None else file_id
         self.path = path
         self.block_size = block_size
         self.size_bytes = 0
@@ -150,7 +155,7 @@ class FileHandle:
     """An open-file descriptor with a stream position."""
 
     def __init__(self, fs: "FileSystem", inode: Inode, writable: bool) -> None:
-        self.handle_id = next(_handle_ids)
+        self.handle_id = next(getattr(fs, "_handle_ids", None) or _handle_ids)
         self.fs = fs
         self.inode = inode
         self.writable = writable
@@ -200,6 +205,10 @@ class FileSystem:
         self.prefetcher = Prefetcher(self.cache, prefetch_policy)
         self._files: Dict[str, Inode] = {}
         self._by_id: Dict[int, Inode] = {}
+        # Per-instance id allocators: two identically-seeded runs hand
+        # out identical file/handle ids (the determinism contract).
+        self._file_ids = itertools.count(1)
+        self._handle_ids = itertools.count(1)
         self.cache.register_inode_resolver(self._by_id.get)
 
         # Allocator state: bump pointer + first-fit free list.
@@ -293,7 +302,8 @@ class FileSystem:
                 raise FileExists(path)
             inode = self._files[path]
         else:
-            inode = Inode(path, self.device.block_size)
+            inode = Inode(path, self.device.block_size,
+                          file_id=next(self._file_ids))
             self._files[path] = inode
             self._by_id[inode.file_id] = inode
         if size_bytes > inode.size_bytes:

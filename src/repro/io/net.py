@@ -16,13 +16,14 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import ConnectionReset, SimulationError
 from repro.sim import Channel, Engine, Store
 from repro.units import MB
 
 __all__ = ["Network", "TcpListener", "Socket", "NetworkStream"]
 
 _EOF = object()
+_RESET = object()
 _socket_ids = itertools.count(1)
 
 
@@ -31,6 +32,11 @@ class Network:
 
     Defaults model 100 Mb/s switched Ethernet with 100 µs one-way
     latency — the paper-era lab network.
+
+    ``injector`` (a :class:`repro.faults.FaultInjector`) arms
+    ``net.drop`` fault rules: each socket send consults it, and a
+    firing tears the connection down — both endpoints observe
+    :class:`~repro.errors.ConnectionReset`.
     """
 
     def __init__(
@@ -39,6 +45,7 @@ class Network:
         bandwidth: float = 12.5 * MB,  # 100 Mb/s in bytes/s
         latency: float = 100e-6,
         connect_overhead: float = 50e-6,
+        injector=None,
     ) -> None:
         if bandwidth <= 0:
             raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
@@ -48,6 +55,7 @@ class Network:
         self.bandwidth = bandwidth
         self.latency = latency
         self.connect_overhead = connect_overhead
+        self.injector = injector
         self._listeners: Dict[Tuple[str, int], "TcpListener"] = {}
 
     def _register(self, listener: "TcpListener") -> None:
@@ -70,7 +78,21 @@ class Network:
         if listener is None or not listener.listening:
             raise SimulationError(f"connection refused: no listener at {key}")
         yield self.engine.timeout(2 * self.latency + self.connect_overhead)
+        if (listener.backlog_limit is not None
+                and listener.pending >= listener.backlog_limit):
+            # SYN queue overflow: the handshake is dropped and the
+            # client sees a reset (retryable under the default policy).
+            listener.refused += 1
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.instant("net.refused", "net", host=host, port=port,
+                               pending=listener.pending)
+            raise ConnectionReset(
+                f"connection refused: accept backlog full at {key}"
+            )
         client, server = Socket.pair(self)
+        client.fault_scope = "client"
+        server.fault_scope = "server"
         listener._backlog.put(server)
         return client
 
@@ -78,11 +100,17 @@ class Network:
 class TcpListener:
     """Server-side listening endpoint (``TcpListener`` in the paper)."""
 
-    def __init__(self, network: Network, host: str = "localhost", port: int = 5050) -> None:
+    def __init__(self, network: Network, host: str = "localhost",
+                 port: int = 5050, backlog_limit: Optional[int] = None) -> None:
+        if backlog_limit is not None and backlog_limit < 1:
+            raise SimulationError(
+                f"backlog_limit must be >= 1 or None, got {backlog_limit}")
         self.network = network
         self.host = host
         self.port = port
         self.listening = False
+        self.backlog_limit = backlog_limit
+        self.refused = 0
         self._backlog: Store = Store(network.engine, name=f"backlog:{host}:{port}")
 
     def start(self) -> None:
@@ -124,6 +152,10 @@ class Socket:
         self._pending = 0  # bytes received but not yet consumed
         self._eof = False
         self._closed = False
+        self._reset = False
+        # Scope label matched against net.drop fault-rule targets
+        # ("client"/"server" for connections made via Network.connect).
+        self.fault_scope = "conn"
         self.bytes_sent = 0
         self.bytes_received = 0
         self._peer: Optional["Socket"] = None
@@ -158,14 +190,27 @@ class Socket:
         the bytes once they arrive.  ``payload`` (any object, e.g. the
         HTTP message text) rides along and becomes available to the
         peer's :meth:`take_payloads` once the bytes have arrived."""
+        if self._reset:
+            raise ConnectionReset(f"send on reset socket {self.socket_id}")
         if self._closed:
             raise SimulationError("send on closed socket")
         if nbytes < 0:
             raise SimulationError(f"negative send: {nbytes}")
+        injector = self.network.injector
+        if injector is not None and injector.net_fault(self.fault_scope, "send"):
+            self._tear_down()
+            raise ConnectionReset(
+                f"connection reset by fault injection (socket {self.socket_id})"
+            )
         if nbytes == 0:
             yield self.network.engine.timeout(0.0)
             return 0
         yield from self._outgoing.send(nbytes)
+        if self._reset:
+            # The connection died while the bytes were in flight.
+            raise ConnectionReset(
+                f"connection reset during send (socket {self.socket_id})"
+            )
         self._deliver_to.put((nbytes, payload))
         self.bytes_sent += nbytes
         return nbytes
@@ -175,19 +220,38 @@ class Socket:
         least one chunk (or EOF) is available; returns 0 at EOF."""
         if max_bytes < 1:
             raise SimulationError(f"receive needs max_bytes >= 1, got {max_bytes}")
+        if self._reset:
+            raise ConnectionReset(f"receive on reset socket {self.socket_id}")
         if self._pending == 0 and not self._eof:
             chunk = yield self._incoming.get()
             self._ingest(chunk)
         # Drain any further chunks that already arrived (non-blocking).
-        while not self._eof and self._incoming.count > 0:
+        while not self._eof and not self._reset and self._incoming.count > 0:
             ev = self._incoming.get()
             self._ingest(ev.value)  # Store.get on a non-empty store succeeds now
+        if self._reset:
+            raise ConnectionReset(
+                f"connection reset by peer (socket {self.socket_id})"
+            )
         take = min(self._pending, max_bytes)
         self._pending -= take
         self.bytes_received += take
         return take
 
+    def _tear_down(self) -> None:
+        """Reset both endpoints and wake any blocked receivers."""
+        for sock in (self, self._peer):
+            if sock is None or sock._reset:
+                continue
+            sock._reset = True
+            # A receiver blocked on its inbox needs a wake-up to
+            # observe the reset.
+            sock._incoming.put(_RESET)
+
     def _ingest(self, chunk) -> None:
+        if chunk is _RESET:
+            self._reset = True
+            return
         if chunk is _EOF:
             self._eof = True
             return
@@ -204,7 +268,8 @@ class Socket:
 
     def close(self):
         """Generator: half-close — signal EOF to the peer."""
-        if self._closed:
+        if self._closed or self._reset:
+            # Closing a torn-down connection is a no-op.
             yield self.network.engine.timeout(0.0)
             return
         self._closed = True

@@ -56,6 +56,7 @@ _LAYER_CATEGORIES = {
     "jit": "jit",
     "webserver": "webserver",
     "replay": "replay",
+    "net": "network",
     "sim": "sim",
 }
 
@@ -333,6 +334,35 @@ class TraceAnalysis:
             "cache_hit_ratio": None if hit_ratio is None else hit_ratio["last"],
             "cache_hit_ratio_mean": None if hit_ratio is None else hit_ratio["mean"],
         }
+
+    # -- point events (faults / retries / sheds) -------------------------------
+
+    def instant_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-name summary of point events, with per-layer attribution.
+
+        ``{name: {count, layers: {layer: count}, attrs: {key:
+        {value: count}}}}``.  The fault-injection machinery reports
+        everything it does as instants (``fault.injected``,
+        ``retry.attempt``, ``server.shed`` ...); the layer of each one
+        comes from :func:`layer_of` over its name and category, so a
+        media error injected at the disk and a connection drop injected
+        at the network land in different rows of the breakdown.  Only
+        short string/bool/int attribute values are tallied (``kind``,
+        ``target``, ``op`` — not free-form messages).
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for event in self.instants:
+            name = _collapse(event.name)
+            row = out.setdefault(name, {"count": 0, "layers": {}, "attrs": {}})
+            row["count"] += 1
+            layer = layer_of(event.name, event.category)
+            row["layers"][layer] = row["layers"].get(layer, 0) + 1
+            for key, value in event.attrs.items():
+                if isinstance(value, bool) or isinstance(value, int) \
+                        or (isinstance(value, str) and len(value) <= 32):
+                    tally = row["attrs"].setdefault(key, {})
+                    tally[str(value)] = tally.get(str(value), 0) + 1
+        return out
 
     # -- (d) directly-follows graph -------------------------------------------
 

@@ -134,6 +134,28 @@ def render_trace_report(analysis: TraceAnalysis, top: int = 20) -> str:
             or util["cache_hit_ratio"] is not None):
         lines.append("(no counter samples recorded)")
 
+    instants = analysis.instant_summary()
+    if instants:
+        lines.append("")
+        lines += _section("point events (faults / retries / degradation)")
+        lines.append(f"{'event':<26} {'count':>6}  layers / breakdown")
+        for name in sorted(instants):
+            row = instants[name]
+            layers = " ".join(
+                f"{layer}×{count}"
+                for layer, count in sorted(row["layers"].items()))
+            details = []
+            for key in ("kind", "target", "op", "reason", "action", "error"):
+                tally = row["attrs"].get(key)
+                if tally:
+                    values = " ".join(
+                        f"{value}×{count}"
+                        for value, count in sorted(tally.items()))
+                    details.append(f"{key}: {values}")
+            lines.append(f"{name:<26} {row['count']:>6d}  {layers}")
+            for detail in details:
+                lines.append(f"{'':<34} {detail}")
+
     lines.append("")
     lines += _section(f"directly-follows graph of I/O ops (top {top} edges)")
     edges = analysis.follows_graph()

@@ -14,6 +14,9 @@ Components
   DESIGN.md §6 compares them).
 * :class:`StripedArray` — RAID-0 over N disks, used by the Figure 4
   disk-scaling experiment.
+* :class:`MirroredArray` — RAID-1 with degraded-mode reads and
+  background rebuild, the storage half of the robustness story
+  (``docs/robustness.md``).
 """
 
 from repro.storage.request import IORequest
@@ -28,7 +31,7 @@ from repro.storage.scheduler import (
     SCHEDULERS,
 )
 from repro.storage.disk import Disk, DiskParams
-from repro.storage.raid import StripedArray
+from repro.storage.raid import MirroredArray, StripedArray
 
 __all__ = [
     "IORequest",
@@ -43,4 +46,5 @@ __all__ = [
     "make_scheduler",
     "SCHEDULERS",
     "StripedArray",
+    "MirroredArray",
 ]

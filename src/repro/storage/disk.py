@@ -26,7 +26,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.errors import DiskError
+from repro.errors import DiskError, DiskFailedError, MediaError
 from repro.sim import Counter, Engine, Tally, TimeWeighted
 from repro.sim.event import Event
 from repro.sim.probe import NULL_PROBE
@@ -101,6 +101,10 @@ class Disk:
     rng:
         numpy Generator used only when ``params.deterministic`` is
         False (rotational-latency sampling).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`; when given, the
+        arm consults it per serviced request (media errors, slowdowns,
+        stalls) and ``disk.fail`` rules targeting this device are armed.
     """
 
     def __init__(
@@ -112,6 +116,7 @@ class Disk:
         rng: Optional[np.random.Generator] = None,
         name: str = "disk",
         probe=NULL_PROBE,
+        injector=None,
     ) -> None:
         self.engine = engine
         self.geometry = geometry or DiskGeometry()
@@ -127,19 +132,22 @@ class Disk:
         self._last_end_lba: Optional[int] = None
         self._wakeup: Optional[Event] = None
         self._completions: Dict[int, Event] = {}
+        self._injector = injector
+        self.failed = False
 
         # Statistics (registered with the engine's metrics registry so
         # one snapshot covers every device on the machine).
         self.requests_completed = Counter(f"{name}.completed")
         self.bytes_read = Counter(f"{name}.bytes_read")
         self.bytes_written = Counter(f"{name}.bytes_written")
+        self.media_errors = Counter(f"{name}.media_errors")
         self.service_times = Tally(f"{name}.service")
         self.response_times = Tally(f"{name}.response")
         self.busy = TimeWeighted(engine, initial=0.0)
         reg = engine.metrics
         for collector in (self.requests_completed, self.bytes_read,
-                          self.bytes_written, self.service_times,
-                          self.response_times):
+                          self.bytes_written, self.media_errors,
+                          self.service_times, self.response_times):
             reg.register(collector.name, collector, device=name)
         reg.register(f"{name}.busy", self.busy, device=name)
         reg.gauge(f"{name}.queue_depth", lambda: len(self.scheduler), device=name)
@@ -147,6 +155,8 @@ class Disk:
                   lambda: self.scheduler.max_depth, device=name)
 
         engine.process(self._arm(), name=f"{name}.arm", daemon=True)
+        if injector is not None:
+            injector.register_disk(self)
 
     # -- device interface (shared with StripedArray) ------------------------
 
@@ -166,6 +176,8 @@ class Disk:
     def submit(self, request: IORequest) -> Event:
         """Queue ``request``; the returned event succeeds with it when
         the transfer completes."""
+        if self.failed:
+            raise DiskFailedError(f"disk {self.name} is offline")
         if request.end_lba > self.geometry.total_blocks:
             raise DiskError(
                 f"request [{request.lba}, {request.end_lba}) exceeds disk "
@@ -197,6 +209,43 @@ class Disk:
     def submit_range(self, lba: int, nblocks: int, is_write: bool = False) -> Event:
         """Convenience: build and submit a request for a block range."""
         return self.submit(IORequest(lba=lba, nblocks=nblocks, is_write=is_write))
+
+    # -- failure lifecycle ---------------------------------------------------
+
+    def fail_disk(self, reason: str = "injected failure") -> None:
+        """Take the whole device offline.
+
+        Every queued (and in-service) request fails with
+        :class:`~repro.errors.DiskFailedError`; new submissions raise
+        synchronously until :meth:`repair` is called.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        error = DiskFailedError(f"disk {self.name} failed: {reason}")
+        # Drain the scheduler so the arm never services stale requests.
+        while not self.scheduler.empty:
+            self.scheduler.pop(self._head_cylinder)
+        for done in list(self._completions.values()):
+            # Guard against "failed event nobody waited on": background
+            # fetchers may have been abandoned by a timed-out retry.
+            done.add_callback(lambda ev: None)
+            done.fail(error)
+        self._completions.clear()
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant("disk.failed", "storage", device=self.name,
+                           reason=reason)
+
+    def repair(self) -> None:
+        """Bring a failed device back online (empty, ready for rebuild)."""
+        if not self.failed:
+            return
+        self.failed = False
+        self._last_end_lba = None
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant("disk.repaired", "storage", device=self.name)
 
     # -- timing model --------------------------------------------------------
 
@@ -255,11 +304,45 @@ class Disk:
             self.busy.record(1.0)
             request = self.scheduler.pop(self._head_cylinder)
             request.started_at = self.engine.now
-            yield self.engine.timeout(self.service_time(request))
+            service = self.service_time(request)
+            fault = None
+            if self._injector is not None:
+                fault = self._injector.disk_fault(
+                    self.name, request.lba, request.nblocks)
+                if fault is not None:
+                    kind, spec = fault
+                    if kind == "disk.slow":
+                        service *= spec.slow_factor
+                    elif kind == "disk.stall":
+                        service += spec.delay
+            yield self.engine.timeout(service)
             # Head ends at the cylinder holding the request's last block.
             self._head_cylinder = self.geometry.cylinder_of(request.end_lba - 1)
             self._last_end_lba = request.end_lba
             request.completed_at = self.engine.now
+
+            # fail_disk() may have claimed the completion mid-service.
+            done = self._completions.pop(request.request_id, None)
+            if done is None:
+                continue
+
+            if fault is not None and fault[0] == "disk.media_error":
+                self.media_errors.add()
+                self._last_end_lba = None  # the stream broke; reposition
+                tracer = self.engine.tracer
+                if tracer.enabled:
+                    tracer.complete(
+                        f"disk.{'write' if request.is_write else 'read'}",
+                        "storage", request.started_at,
+                        device=self.name, lba=request.lba,
+                        nblocks=request.nblocks, error="MediaError",
+                    )
+                done.add_callback(lambda ev: None)
+                done.fail(MediaError(
+                    f"disk {self.name}: unrecoverable read at lba "
+                    f"{request.lba}+{request.nblocks}"
+                ))
+                continue
 
             nbytes = request.nblocks * self.geometry.block_size
             self.requests_completed.add()
@@ -288,7 +371,7 @@ class Disk:
                     response_ms=round(request.response_time * 1e3, 4),
                 )
 
-            self._completions.pop(request.request_id).succeed(request)
+            done.succeed(request)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -62,6 +62,12 @@ class ReplayConfig:
     observability for the whole replay stack: the engine, disk,
     cache, file system, JIT and the replayer itself all emit spans
     into it, exportable via :mod:`repro.obs.export`.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) injects
+    deterministic disk faults during the replay; pair it with
+    ``retry`` (a :class:`repro.faults.RetryPolicy`) so reads/writes
+    ride out transient faults — the counts land in
+    ``ReplayResult.faults_injected`` / ``ReplayResult.retries``.
     """
 
     file_size: int = 1 * GiB
@@ -78,6 +84,11 @@ class ReplayConfig:
     probe_categories: Optional[Tuple[str, ...]] = None
     # Unified observability sink (repro.obs.Tracer); None = disabled.
     tracer: Optional[object] = None
+    # Deterministic fault injection (repro.faults.FaultPlan) and the
+    # retry policy (repro.faults.RetryPolicy) replayed reads/writes
+    # run under; None disables either side.
+    fault_plan: Optional[object] = None
+    retry: Optional[object] = None
     fs_params: FsParams = field(default_factory=FsParams)
     disk_params: DiskParams = field(default_factory=DiskParams)
     disk_geometry: DiskGeometry = field(default_factory=DiskGeometry)
@@ -119,6 +130,9 @@ class ReplayResult:
     instructions: int
     streams: int = 1
     probe: Optional[object] = None  # repro.sim.Probe when requested
+    faults_injected: int = 0
+    retries: int = 0
+    retries_exhausted: int = 0
 
     def rows_for(self, op: IOOp) -> List[Tuple[int, float]]:
         """(data size, latency ms) rows for one op — the layout of the
@@ -161,12 +175,14 @@ class _ReplaySession:
         sample_path: str,
         streams: List[_ReplayStream],
         pace: bool,
+        retrier=None,
     ) -> None:
         self.engine = engine
         self.fs = fs
         self.sample_path = sample_path
         self.streams = {s.stream_id: s for s in streams}
         self.pace = pace
+        self.retrier = retrier
         self.timings = OpTimings()
         self.per_record: List[RecordTiming] = []
         self.measuring = True
@@ -248,7 +264,16 @@ class _ReplaySession:
         _index, record = stream.current
         handle = self._handle_for(stream, record.pid)
         t0 = self.engine.now
-        yield from self.fs.read(handle, record.length, offset=record.offset)
+        # The explicit-offset read is idempotent, so it can run under a
+        # retry policy unchanged: a retried attempt re-reads the same
+        # range without moving the handle.
+        if self.retrier is not None:
+            yield from self.retrier.call(
+                lambda: self.fs.read(handle, record.length,
+                                     offset=record.offset),
+                op="replay.read")
+        else:
+            yield from self.fs.read(handle, record.length, offset=record.offset)
         self._finish(stream, IOOp.READ, t0)
 
     def do_write(self, sid: int):
@@ -256,7 +281,13 @@ class _ReplaySession:
         _index, record = stream.current
         handle = self._handle_for(stream, record.pid)
         t0 = self.engine.now
-        yield from self.fs.write(handle, record.length, offset=record.offset)
+        if self.retrier is not None:
+            yield from self.retrier.call(
+                lambda: self.fs.write(handle, record.length,
+                                      offset=record.offset),
+                op="replay.write")
+        else:
+            yield from self.fs.write(handle, record.length, offset=record.offset)
         self._finish(stream, IOOp.WRITE, t0)
 
     def do_seek(self, sid: int):
@@ -325,6 +356,11 @@ class TraceReplayer:
             from repro.sim import Probe
 
             probe = Probe(engine, categories=set(cfg.probe_categories))
+        injector = None
+        if cfg.fault_plan is not None:
+            from repro.faults import FaultInjector
+
+            injector = FaultInjector(engine, cfg.fault_plan)
         disk = Disk(
             engine,
             geometry=cfg.disk_geometry,
@@ -332,6 +368,7 @@ class TraceReplayer:
             scheduler=cfg.scheduler,
             name="local-disk",
             probe=probe if probe is not None else NULL_PROBE,
+            injector=injector,
         )
         fs = FileSystem(
             engine,
@@ -342,9 +379,20 @@ class TraceReplayer:
             probe=probe,
         )
         runtime = CliRuntime(engine)
+        retrier = None
+        if cfg.retry is not None:
+            from repro.faults import Retrier
+            from repro.rng import SeededStreams
+
+            seed = cfg.fault_plan.seed if cfg.fault_plan is not None else 0
+            retrier = Retrier(
+                engine, cfg.retry, category="replay",
+                rng=SeededStreams(seed).get("replay-retry-jitter"),
+            )
         streams = self._make_streams(records)
         session = _ReplaySession(
-            engine, fs, header.sample_file, streams, pace=cfg.pace
+            engine, fs, header.sample_file, streams, pace=cfg.pace,
+            retrier=retrier,
         )
         runtime.register_intrinsics(
             {
@@ -398,4 +446,7 @@ class TraceReplayer:
             instructions=runtime.interpreter.instructions_executed.value,
             streams=len(streams),
             probe=probe,
+            faults_injected=injector.injected.value if injector else 0,
+            retries=retrier.retries.value if retrier else 0,
+            retries_exhausted=retrier.exhausted.value if retrier else 0,
         )

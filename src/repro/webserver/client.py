@@ -49,15 +49,33 @@ def _parse_response_header(text: str) -> "tuple[int, int]":
 
 
 class HttpClient:
-    """A simple HTTP/1.0 client (one connection per request)."""
+    """A simple HTTP/1.0 client (one connection per request).
 
-    def __init__(self, network: Network, host: str = "localhost", port: int = 5050) -> None:
+    ``retrier`` (a :class:`repro.faults.Retrier`) makes each request
+    retry on :class:`~repro.errors.ConnectionReset` — a dropped or
+    refused connection is re-issued on a fresh socket under the
+    retrier's backoff policy, the way a real browser retries.
+    """
+
+    def __init__(self, network: Network, host: str = "localhost",
+                 port: int = 5050, retrier=None) -> None:
         self.network = network
         self.host = host
         self.port = port
+        self.retrier = retrier
 
     def request(self, req: HttpRequest):
         """Generator: issue one request; returns a :class:`ClientResult`."""
+        if self.retrier is not None:
+            result = yield from self.retrier.call(
+                lambda: self._request_once(req),
+                op=f"http.{req.method.lower()}")
+            return result
+        result = yield from self._request_once(req)
+        return result
+
+    def _request_once(self, req: HttpRequest):
+        """Generator: one attempt on a fresh connection."""
         engine = self.network.engine
         t0 = engine.now
         socket = yield from self.network.connect(self.host, self.port)

@@ -16,7 +16,13 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Optional, TYPE_CHECKING
 
-from repro.errors import FileNotFound, HttpError
+from repro.errors import (
+    ConnectionReset,
+    FileNotFound,
+    HttpError,
+    RetryExhausted,
+    StorageError,
+)
 from repro.io import FileMode, FileStream, StreamWriter
 from repro.io.net import Socket
 from repro.webserver.httpmsg import HttpRequest, HttpResponse, parse_request
@@ -89,7 +95,19 @@ class RequestHandlers:
         text: Optional[str] = None
         expected = None
         while True:
-            got = yield from conn.socket.receive(8192)
+            try:
+                got = yield from conn.socket.receive(8192)
+            except ConnectionReset:
+                # The client vanished mid-request.  There is nobody to
+                # answer, but the request must not vanish from the
+                # metrics: count the failure, then unwind through the
+                # managed catch so the worker exits cleanly.
+                self._abort(conn, "reset_during_receive")
+                raise ManagedException(
+                    "System.Net.SocketException",
+                    "connection reset while receiving request",
+                    payload=499,
+                ) from None
             received += got
             if text is None:
                 payloads = conn.socket.take_payloads()
@@ -126,12 +144,23 @@ class RequestHandlers:
         path = self.server.resolve_path(request.path)
         t0 = self.engine.now
         try:
-            stream = yield from FileStream.open(self.fs, path, FileMode.OPEN)
+            stream = yield from FileStream.open(
+                self.fs, path, FileMode.OPEN, retrier=self.server.retrier)
         except FileNotFound:
             yield from self._respond(conn, HttpResponse(404), read_time=None)
             return
-        nbytes = yield from stream.read_to_end(chunk=self.server.config.file_chunk)
-        yield from stream.close()
+        except (StorageError, RetryExhausted):
+            # The storage layer is misbehaving beyond what retries can
+            # absorb; degrade to 503 instead of killing the worker.
+            yield from self._respond(conn, HttpResponse(503), read_time=None)
+            return
+        try:
+            nbytes = yield from stream.read_to_end(
+                chunk=self.server.config.file_chunk)
+            yield from stream.close()
+        except (StorageError, RetryExhausted):
+            yield from self._respond(conn, HttpResponse(503), read_time=None)
+            return
         read_time = self.engine.now - t0
         yield from self._respond(
             conn, HttpResponse(200, body_bytes=nbytes), read_time=read_time
@@ -144,14 +173,18 @@ class RequestHandlers:
         request = conn.request
         path = self.server.new_upload_path()
         t0 = self.engine.now
-        stream = yield from FileStream.open(self.fs, path, FileMode.CREATE)
-        writer = StreamWriter(stream, buffer_size=self.server.config.file_chunk)
-        yield from writer.write(request.body_bytes)
-        yield from writer.flush()
-        # Uploaded data is made durable before acknowledging — this is
-        # why the paper's writes come out slower than its reads.
-        yield from self.fs.sync(stream.handle)
-        yield from stream.close()
+        try:
+            stream = yield from FileStream.open(self.fs, path, FileMode.CREATE)
+            writer = StreamWriter(stream, buffer_size=self.server.config.file_chunk)
+            yield from writer.write(request.body_bytes)
+            yield from writer.flush()
+            # Uploaded data is made durable before acknowledging — this is
+            # why the paper's writes come out slower than its reads.
+            yield from self.fs.sync(stream.handle)
+            yield from stream.close()
+        except (StorageError, RetryExhausted):
+            yield from self._respond(conn, HttpResponse(503), write_time=None)
+            return
         write_time = self.engine.now - t0
         yield from self._respond(
             conn, HttpResponse(201), write_time=write_time
@@ -159,11 +192,25 @@ class RequestHandlers:
 
     def send_error(self, conn_id: int):
         """Report a malformed request back to the client."""
-        conn = self._conn(conn_id)
+        conn = self.connections.get(conn_id)
+        if conn is None:
+            # Already aborted (e.g. the connection reset mid-receive and
+            # the failure was recorded); nothing left to answer.
+            yield self.engine.timeout(0.0)
+            return
         status = conn.error_status or 400
         yield from self._respond(conn, HttpResponse(status))
 
     # -- shared response path ---------------------------------------------------
+
+    def _abort(self, conn: Connection, reason: str) -> None:
+        """Account for a request that dies without a response."""
+        self.metrics.record_failure(reason)
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant("http.aborted", "webserver", tid=conn.conn_id,
+                           reason=reason)
+        self.connections.pop(conn.conn_id, None)
 
     def _respond(
         self,
@@ -172,8 +219,26 @@ class RequestHandlers:
         read_time: Optional[float] = None,
         write_time: Optional[float] = None,
     ):
-        yield from conn.socket.send(response.wire_bytes, payload=response.header_text())
-        yield from conn.socket.close()
+        deadline = self.server.config.request_deadline
+        if (deadline is not None and conn.started_at is not None
+                and self.engine.now - conn.started_at > deadline
+                and response.status < 400):
+            # Too late to be useful: degrade the answer to 503 so the
+            # client can tell an overloaded server from a slow file.
+            self.server.deadline_exceeded.add()
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.instant("server.deadline_exceeded", "webserver",
+                               tid=conn.conn_id,
+                               elapsed=self.engine.now - conn.started_at)
+            response = HttpResponse(503)
+        try:
+            yield from conn.socket.send(
+                response.wire_bytes, payload=response.header_text())
+            yield from conn.socket.close()
+        except ConnectionReset:
+            self._abort(conn, "reset_during_send")
+            return
         request = conn.request
         tracer = self.engine.tracer
         if tracer.enabled:

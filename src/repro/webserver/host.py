@@ -48,6 +48,13 @@ class HostConfig:
     vm_profile: str = "sscli"
     #: Optional :class:`repro.obs.Tracer` shared by the whole stack.
     tracer: Optional[object] = None
+    #: Optional :class:`repro.faults.FaultPlan`; when set, a
+    #: :class:`~repro.faults.FaultInjector` is armed against the disk
+    #: and the network, and GET-side file I/O runs under ``retry``.
+    fault_plan: Optional[object] = None
+    #: Optional :class:`repro.faults.RetryPolicy` for server-side file
+    #: reads (defaults apply when ``fault_plan`` is set and this isn't).
+    retry: Optional[object] = None
 
 
 class WebServerHost:
@@ -63,11 +70,25 @@ class WebServerHost:
         cfg = self.config
         self.engine = Engine(tracer=cfg.tracer)
         self.engine.tracer.name_process("webserver")
+        self.injector = None
+        retrier = None
+        if cfg.fault_plan is not None or cfg.retry is not None:
+            from repro.faults import FaultInjector, Retrier
+            from repro.rng import SeededStreams
+
+            if cfg.fault_plan is not None:
+                self.injector = FaultInjector(self.engine, cfg.fault_plan)
+            seed = cfg.fault_plan.seed if cfg.fault_plan is not None else 0
+            retrier = Retrier(
+                self.engine, cfg.retry, category="webserver",
+                rng=SeededStreams(seed).get("webserver-retry-jitter"),
+            )
         self.disk = Disk(
             self.engine,
             geometry=cfg.disk_geometry,
             params=cfg.disk_params,
             name="server-disk",
+            injector=self.injector,
         )
         self.fs = FileSystem(
             self.engine,
@@ -75,13 +96,14 @@ class WebServerHost:
             params=cfg.fs_params,
             cache_params=CacheParams(capacity_pages=cfg.cache_pages),
         )
-        self.network = Network(self.engine)
+        self.network = Network(self.engine, injector=self.injector)
         profile = get_profile(cfg.vm_profile)
         self.runtime = CliRuntime(
             self.engine, jit_params=profile.jit, interp_params=profile.interp
         )
         self.server = WebServer(
-            self.engine, self.runtime, self.fs, self.network, cfg.server
+            self.engine, self.runtime, self.fs, self.network, cfg.server,
+            retrier=retrier,
         )
         self.engine.run_process(self._setup())
 
@@ -93,9 +115,10 @@ class WebServerHost:
 
     # -- conveniences ------------------------------------------------------------
 
-    def client(self) -> HttpClient:
+    def client(self, retrier=None) -> HttpClient:
         return HttpClient(
-            self.network, self.config.server.host, self.config.server.port
+            self.network, self.config.server.host, self.config.server.port,
+            retrier=retrier,
         )
 
     def run_request_sequence(self, requests):

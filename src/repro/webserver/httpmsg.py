@@ -23,6 +23,7 @@ REASON_PHRASES: Dict[int, str] = {
     404: "Not Found",
     405: "Method Not Allowed",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 _SUPPORTED_METHODS = ("GET", "POST")

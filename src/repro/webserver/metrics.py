@@ -91,6 +91,8 @@ class ServerMetrics:
         self.write_times = Tally("server.write")
         self.response_times = Tally("server.response")
         self.errors = 0
+        self.failures = 0
+        self.failure_reasons: dict = {}
 
     def bind(self, registry, **labels) -> None:
         """Register the tallies in an engine's
@@ -111,6 +113,19 @@ class ServerMetrics:
             registry.register(ms_name, _MillisecondView(tally),
                               unit="ms", **labels)
         registry.gauge("webserver.errors", lambda: self.errors, **labels)
+        registry.gauge("webserver.failures", lambda: self.failures, **labels)
+
+    def record_failure(self, reason: str = "aborted") -> None:
+        """Count a request that died without producing a response
+        (connection reset mid-receive/mid-send, shed before parsing).
+
+        These never reach :meth:`record`, but they still show in the
+        ``webserver.errors`` gauge instead of vanishing without a
+        metrics trace; ``failure_reasons`` breaks them down.
+        """
+        self.errors += 1
+        self.failures += 1
+        self.failure_reasons[reason] = self.failure_reasons.get(reason, 0) + 1
 
     def record(self, record: RequestRecord) -> None:
         self.requests.append(record)

@@ -19,11 +19,12 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.cli import AssemblyBuilder, CliRuntime, ManagedThread, MethodBuilder
-from repro.errors import ReproError
+from repro.errors import ConnectionReset, ReproError
 from repro.io import FileSystem, Network, TcpListener
 from repro.rng import SeededStreams
 from repro.sim import Counter, Engine
 from repro.webserver.handlers import Connection, RequestHandlers
+from repro.webserver.httpmsg import HttpResponse
 from repro.webserver.metrics import ServerMetrics
 
 __all__ = ["WebServerConfig", "WebServer"]
@@ -31,7 +32,19 @@ __all__ = ["WebServerConfig", "WebServer"]
 
 @dataclass(frozen=True)
 class WebServerConfig:
-    """Server knobs (defaults follow the paper)."""
+    """Server knobs (defaults follow the paper).
+
+    The three graceful-degradation knobs default to off (``None``),
+    preserving the paper's unbounded server:
+
+    * ``max_concurrency`` — cap on simultaneously-live worker threads;
+      beyond it, new connections are *shed* with an immediate 503
+      instead of spawning a worker.
+    * ``accept_backlog`` — bound on the listener's accept queue;
+      overflowing connects are refused (the client sees a reset).
+    * ``request_deadline`` — per-request budget in simulated seconds;
+      a success that misses it is downgraded to 503 at response time.
+    """
 
     host: str = "localhost"
     port: int = 5050
@@ -39,12 +52,21 @@ class WebServerConfig:
     upload_dir: str = "/www/uploads"
     file_chunk: int = 8192
     seed: int = 0
+    max_concurrency: Optional[int] = None
+    accept_backlog: Optional[int] = None
+    request_deadline: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not (0 < self.port < 65536):
             raise ReproError(f"bad port {self.port}")
         if self.file_chunk < 1:
             raise ReproError("file_chunk must be >= 1")
+        if self.max_concurrency is not None and self.max_concurrency < 1:
+            raise ReproError("max_concurrency must be >= 1 or None")
+        if self.accept_backlog is not None and self.accept_backlog < 1:
+            raise ReproError("accept_backlog must be >= 1 or None")
+        if self.request_deadline is not None and self.request_deadline <= 0:
+            raise ReproError("request_deadline must be positive or None")
 
 
 def build_handler_methods():
@@ -99,20 +121,28 @@ class WebServer:
         fs: FileSystem,
         network: Network,
         config: Optional[WebServerConfig] = None,
+        retrier=None,
     ) -> None:
         self.engine = engine
         self.runtime = runtime
         self.fs = fs
         self.network = network
         self.config = config or WebServerConfig()
+        # Optional repro.faults.Retrier: GET file opens/reads run under
+        # its policy so transient storage faults do not kill workers.
+        self.retrier = retrier
         self.metrics = ServerMetrics()
         self.handlers = RequestHandlers(self)
-        self.listener = TcpListener(network, self.config.host, self.config.port)
+        self.listener = TcpListener(network, self.config.host, self.config.port,
+                                    backlog_limit=self.config.accept_backlog)
         self.threads_spawned = Counter("server.threads")
+        self.shed = Counter("server.shed")
+        self.deadline_exceeded = Counter("server.deadline_exceeded")
         reg = engine.metrics
         self.metrics.bind(reg, server=self.config.host)
-        reg.register(self.threads_spawned.name, self.threads_spawned,
-                     server=self.config.host)
+        for counter in (self.threads_spawned, self.shed,
+                        self.deadline_exceeded):
+            reg.register(counter.name, counter, server=self.config.host)
         self._threads: List[ManagedThread] = []
         self._rng = SeededStreams(self.config.seed).get("post-file-names")
         self._started = False
@@ -155,6 +185,14 @@ class WebServer:
     def _accept_loop(self):
         while True:
             socket = yield from self.listener.accept_socket()
+            limit = self.config.max_concurrency
+            if limit is not None and self.active_threads >= limit:
+                # Load shedding: answer 503 from the accept thread
+                # (cheap, no managed worker) so the client backs off
+                # instead of queueing behind saturated workers.
+                self.engine.process(self._shed_connection(socket),
+                                    name="webserver.shed", daemon=True)
+                continue
             conn = Connection(socket, accepted_at=self.engine.now)
             conn_id = self.handlers.register(conn)
             thread = self.runtime.create_thread(
@@ -163,6 +201,22 @@ class WebServer:
             thread.start()
             self._threads.append(thread)
             self.threads_spawned.add()
+
+    def _shed_connection(self, socket):
+        """Generator: turn away one connection with an immediate 503."""
+        self.shed.add()
+        self.metrics.record_failure("shed")
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant("server.shed", "webserver",
+                           active=self.active_threads)
+        response = HttpResponse(503)
+        try:
+            yield from socket.send(response.wire_bytes,
+                                   payload=response.header_text())
+            yield from socket.close()
+        except ConnectionReset:
+            pass  # the client gave up first; the shed is already counted
 
     # -- path helpers ------------------------------------------------------------
 

@@ -1,0 +1,141 @@
+"""Injected faults at the disk layer: media errors, slowdowns, stalls,
+and whole-device failure/repair."""
+
+import pytest
+
+from repro.errors import DiskFailedError, MediaError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.sim import Engine
+from repro.storage import Disk, DiskGeometry
+
+GEO = DiskGeometry(cylinders=500, heads=2, sectors_per_track=20)
+
+
+def _disk_with(engine, specs, seed=0, name="d0"):
+    injector = FaultInjector(engine, FaultPlan(seed=seed, specs=tuple(specs)))
+    disk = Disk(engine, geometry=GEO, name=name, injector=injector)
+    return disk, injector
+
+
+def _read(engine, disk, lba=0, nblocks=8):
+    def op():
+        request = yield disk.submit_range(lba, nblocks)
+        return request
+
+    return engine.run_process(op())
+
+
+def test_media_error_fails_request_and_counts():
+    engine = Engine()
+    disk, injector = _disk_with(engine, [
+        FaultSpec(kind="disk.media_error", probability=1.0, max_hits=1),
+    ])
+    with pytest.raises(MediaError):
+        _read(engine, disk)
+    assert disk.media_errors.value == 1
+    assert injector.injected.value == 1
+    # Budget spent: the next request succeeds.
+    _read(engine, disk, lba=64)
+    assert disk.media_errors.value == 1
+
+
+def test_media_error_is_transient_retry_succeeds():
+    from repro.faults import Retrier, RetryPolicy
+
+    engine = Engine()
+    disk, _ = _disk_with(engine, [
+        FaultSpec(kind="disk.media_error", probability=1.0, max_hits=2),
+    ])
+    retrier = Retrier(engine, RetryPolicy(max_attempts=4, jitter=0.0))
+
+    def driver():
+        def attempt():
+            request = yield disk.submit_range(0, 8)
+            return request
+
+        result = yield from retrier.call(attempt, op="disk.read")
+        return result
+
+    request = engine.run_process(driver())
+    assert request is not None
+    assert retrier.retries.value == 2
+    assert retrier.recovered.value == 1
+
+
+def test_slow_fault_inflates_service_time():
+    baseline_engine = Engine()
+    baseline = Disk(baseline_engine, geometry=GEO, name="d0")
+    _read(baseline_engine, baseline)
+    healthy_time = baseline_engine.now
+
+    engine = Engine()
+    disk, _ = _disk_with(engine, [
+        FaultSpec(kind="disk.slow", probability=1.0, slow_factor=8.0),
+    ])
+    _read(engine, disk)
+    assert engine.now > healthy_time * 2
+
+
+def test_stall_fault_adds_fixed_delay():
+    engine = Engine()
+    disk, _ = _disk_with(engine, [
+        FaultSpec(kind="disk.stall", probability=1.0, delay=0.5, max_hits=1),
+    ])
+    _read(engine, disk)
+    assert engine.now >= 0.5
+
+
+def test_disk_fail_rejects_submissions_until_repair():
+    engine = Engine()
+    disk, injector = _disk_with(engine, [
+        FaultSpec(kind="disk.fail", target="d0", start=0.0, end=2.0),
+    ])
+
+    def driver():
+        # Let the failure daemon fire at t=0.
+        yield engine.timeout(0.01)
+        assert disk.failed
+        with pytest.raises(DiskFailedError):
+            disk.submit_range(0, 8)
+        # Wait out the repair at t=2 (the drive swap).
+        yield engine.timeout(2.5)
+        assert not disk.failed
+        request = yield disk.submit_range(0, 8)
+        return request
+
+    assert engine.run_process(driver()) is not None
+    actions = [r.detail.get("action") for r in injector.injections]
+    assert actions == ["fail", "repair"]
+
+
+def test_disk_fail_fails_queued_requests():
+    engine = Engine()
+    disk, _ = _disk_with(engine, [
+        FaultSpec(kind="disk.fail", target="d0", start=0.001),
+    ])
+
+    def driver():
+        # Submit before the failure fires; the in-flight request is
+        # claimed by fail_disk and fails with DiskFailedError.
+        ev = disk.submit_range(0, 64)
+        with pytest.raises(DiskFailedError):
+            yield ev
+
+    engine.run_process(driver())
+
+
+def test_fault_instants_carry_storage_category():
+    from repro.obs import Tracer
+
+    engine = Engine(tracer=Tracer())
+    disk, _ = _disk_with(engine, [
+        FaultSpec(kind="disk.media_error", probability=1.0, max_hits=1),
+    ])
+    with pytest.raises(MediaError):
+        _read(engine, disk)
+    instants = [e for e in engine.tracer.events
+                if e.kind == "instant" and e.name == "fault.injected"]
+    assert len(instants) == 1
+    assert instants[0].category == "storage"
+    assert instants[0].attrs["kind"] == "disk.media_error"
+    assert instants[0].attrs["target"] == "*"

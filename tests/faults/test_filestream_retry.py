@@ -1,0 +1,131 @@
+"""FileStream under a retrier: transparent recovery, idempotent
+position handling, and failure propagation through the cache."""
+
+import pytest
+
+from repro.errors import MediaError, RetryExhausted
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, Retrier, RetryPolicy
+from repro.io import CacheParams, FileMode, FileStream, FileSystem
+from repro.io.prefetch import NoPrefetch
+from repro.sim import Engine
+from repro.storage import Disk, DiskGeometry
+
+GEO = DiskGeometry(cylinders=2000, heads=2, sectors_per_track=40)
+
+
+def _stack(specs, seed=0, cache_pages=4):
+    engine = Engine()
+    injector = FaultInjector(engine, FaultPlan(seed=seed, specs=tuple(specs)))
+    disk = Disk(engine, geometry=GEO, name="d0", injector=injector)
+    fs = FileSystem(
+        engine, disk,
+        cache_params=CacheParams(capacity_pages=cache_pages),
+        prefetch_policy=NoPrefetch(),
+    )
+    engine.run_process(fs.create("/data", size_bytes=256 * 1024))
+    return engine, fs, injector
+
+
+def test_read_recovers_from_transient_media_errors():
+    engine, fs, injector = _stack([
+        FaultSpec(kind="disk.media_error", probability=1.0, max_hits=2),
+    ])
+    retrier = Retrier(engine, RetryPolicy(max_attempts=5, jitter=0.0))
+
+    def driver():
+        stream = yield from FileStream.open(fs, "/data", FileMode.OPEN,
+                                            retrier=retrier)
+        total = yield from stream.read_to_end(chunk=32 * 1024)
+        yield from stream.close()
+        return total
+
+    assert engine.run_process(driver()) == 256 * 1024
+    assert retrier.retries.value >= 1
+    assert retrier.recovered.value >= 1
+    assert injector.injected.value == 2
+
+
+def test_position_advances_exactly_once_per_successful_read():
+    engine, fs, _ = _stack([
+        FaultSpec(kind="disk.media_error", probability=1.0, max_hits=1),
+    ])
+    retrier = Retrier(engine, RetryPolicy(max_attempts=4, jitter=0.0))
+
+    def driver():
+        stream = yield from FileStream.open(fs, "/data", FileMode.OPEN,
+                                            retrier=retrier)
+        got = yield from stream.read(8192)
+        assert got == 8192
+        # The first attempt failed and was retried; the position must
+        # reflect one logical read, not two attempts.
+        assert stream.position == 8192
+        got = yield from stream.read(4096)
+        assert stream.position == 8192 + 4096
+        yield from stream.close()
+
+    engine.run_process(driver())
+    assert retrier.retries.value == 1
+
+
+def test_exhausted_retries_surface_retry_exhausted():
+    engine, fs, _ = _stack([
+        FaultSpec(kind="disk.media_error", probability=1.0),
+    ])
+    retrier = Retrier(engine, RetryPolicy(max_attempts=3, jitter=0.0))
+
+    def driver():
+        stream = yield from FileStream.open(fs, "/data", FileMode.OPEN,
+                                            retrier=retrier)
+        yield from stream.read(8192)
+
+    with pytest.raises(RetryExhausted) as info:
+        engine.run_process(driver())
+    assert isinstance(info.value.last_error, MediaError)
+    assert retrier.exhausted.value == 1
+
+
+def test_without_retrier_media_error_propagates():
+    engine, fs, _ = _stack([
+        FaultSpec(kind="disk.media_error", probability=1.0, max_hits=1),
+    ])
+
+    def driver():
+        stream = yield from FileStream.open(fs, "/data", FileMode.OPEN)
+        yield from stream.read(8192)
+
+    with pytest.raises(MediaError):
+        engine.run_process(driver())
+
+
+def test_cache_counts_fetch_failures():
+    engine, fs, _ = _stack([
+        FaultSpec(kind="disk.media_error", probability=1.0, max_hits=1),
+    ])
+    retrier = Retrier(engine, RetryPolicy(max_attempts=4, jitter=0.0))
+
+    def driver():
+        stream = yield from FileStream.open(fs, "/data", FileMode.OPEN,
+                                            retrier=retrier)
+        yield from stream.read(8192)
+        yield from stream.close()
+
+    engine.run_process(driver())
+    assert fs.cache.stats.fetch_failures == 1
+
+
+def test_faulted_writes_recover_too():
+    engine, fs, _ = _stack([
+        FaultSpec(kind="disk.media_error", probability=0.5, max_hits=3),
+    ], seed=13, cache_pages=2)  # tiny cache forces synchronous evictions
+    retrier = Retrier(engine, RetryPolicy(max_attempts=6, jitter=0.0))
+
+    def driver():
+        stream = yield from FileStream.open(fs, "/out", FileMode.CREATE)
+        stream.retrier = retrier
+        for _ in range(16):
+            yield from stream.write(16 * 1024)
+        yield from fs.sync(stream.handle)
+        yield from stream.close()
+        return stream.length
+
+    assert engine.run_process(driver()) == 16 * 16 * 1024

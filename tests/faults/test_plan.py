@@ -1,0 +1,98 @@
+"""FaultSpec / FaultPlan validation and matching semantics."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+
+
+def test_valid_kinds_construct():
+    for kind in FAULT_KINDS:
+        spec = FaultSpec(kind=kind)
+        assert spec.kind == kind
+        assert spec.target == "*"
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"kind": "disk.meltdown"},
+        {"kind": "disk.slow", "start": -1.0},
+        {"kind": "disk.slow", "start": 2.0, "end": 2.0},
+        {"kind": "disk.slow", "probability": 1.5},
+        {"kind": "disk.slow", "probability": -0.1},
+        {"kind": "disk.media_error", "lba_range": (10, 10)},
+        {"kind": "disk.media_error", "lba_range": (-1, 5)},
+        {"kind": "disk.slow", "slow_factor": 0.5},
+        {"kind": "disk.stall", "delay": -0.1},
+        {"kind": "net.drop", "max_hits": 0},
+    ],
+)
+def test_invalid_specs_raise(kwargs):
+    with pytest.raises(FaultError):
+        FaultSpec(**kwargs)
+
+
+def test_probabilistic_excludes_disk_fail():
+    assert not FaultSpec(kind="disk.fail").probabilistic
+    for kind in FAULT_KINDS:
+        if kind != "disk.fail":
+            assert FaultSpec(kind=kind).probabilistic
+
+
+def test_window_and_target_matching():
+    spec = FaultSpec(kind="disk.slow", target="d0", start=1.0, end=3.0)
+    assert not spec.active_at(0.5)
+    assert spec.active_at(1.0)
+    assert spec.active_at(2.999)
+    assert not spec.active_at(3.0)
+    assert spec.matches_target("d0")
+    assert not spec.matches_target("d1")
+    assert FaultSpec(kind="disk.slow").matches_target("anything")
+
+
+def test_lba_range_is_half_open_overlap():
+    spec = FaultSpec(kind="disk.media_error", lba_range=(100, 200))
+    assert spec.matches_lba(150, 8)
+    assert spec.matches_lba(96, 8)      # tail overlaps
+    assert spec.matches_lba(199, 8)     # head overlaps
+    assert not spec.matches_lba(92, 8)  # ends exactly at lo
+    assert not spec.matches_lba(200, 8)
+    assert FaultSpec(kind="disk.media_error").matches_lba(0, 1)
+
+
+def test_stream_names_distinguish_identical_specs():
+    spec = FaultSpec(kind="net.drop", target="server")
+    assert spec.stream_name(0) != spec.stream_name(1)
+
+
+def test_plan_coerces_iterables_and_validates_members():
+    plan = FaultPlan(seed=3, specs=[FaultSpec(kind="disk.slow")])
+    assert isinstance(plan.specs, tuple)
+    with pytest.raises(FaultError):
+        FaultPlan(specs=["not a spec"])
+
+
+def test_for_kind_preserves_plan_order():
+    plan = FaultPlan(specs=(
+        FaultSpec(kind="disk.slow"),
+        FaultSpec(kind="net.drop"),
+        FaultSpec(kind="disk.slow", target="d1"),
+    ))
+    pairs = plan.for_kind("disk.slow")
+    assert [i for i, _ in pairs] == [0, 2]
+    assert plan.for_kind("net.drop")[0][0] == 1
+
+
+def test_describe_mentions_every_rule():
+    plan = FaultPlan(seed=9, specs=(
+        FaultSpec(kind="disk.slow", slow_factor=3.0, max_hits=2),
+        FaultSpec(kind="disk.stall", delay=0.5),
+        FaultSpec(kind="disk.fail", target="d0", end=4.0),
+    ))
+    text = plan.describe()
+    assert "seed=9" in text
+    assert "disk.slow" in text and "x3" in text and "max_hits=2" in text
+    assert "disk.stall" in text and "+0.5s" in text
+    assert "disk.fail" in text and "target=d0" in text
+    assert "no faults" in FaultPlan().describe()

