@@ -2,21 +2,28 @@
 
     python -m repro.bench                       # everything, to stdout
     python -m repro.bench fig4 tab1             # a subset
+    python -m repro.bench --jobs 4              # across worker processes
+    python -m repro.bench --profile prof/       # cProfile per experiment
     python -m repro.bench --output report.txt   # also save the text
     python -m repro.bench --json results.json   # machine-readable dump
     python -m repro.bench tab1 --trace-out t.json   # Chrome/Perfetto trace
     python -m repro.bench tab1 --trace-jsonl t.jsonl  # JSONL event dump
     python -m repro.bench --baseline-out BENCH_now.json  # gate snapshot
+    python -m repro.bench ext_scale --wallclock-append BENCH_wallclock.jsonl
+
+Simulated metrics are deterministic, so ``--jobs N`` output is
+byte-identical to a serial run (wall seconds aside).  Tracing forces
+``--jobs 1``: a single Tracer cannot span processes.
 
 See docs/observability.md for the trace formats, the baseline schema,
-and the regression gate (``python -m repro.obs gate``).
+and the regression gate (``python -m repro.obs gate``);
+docs/performance.md for profiling and the wall-clock workflow.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
 import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS, run_experiment
@@ -30,6 +37,21 @@ def main(argv=None) -> int:
         nargs="*",
         metavar="EXP",
         help=f"experiment ids (default: all of {', '.join(sorted(ALL_EXPERIMENTS))})",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments across N worker processes "
+        "(default 1 = serial; output is byte-identical either way)",
+    )
+    parser.add_argument(
+        "--profile",
+        dest="profile_dir",
+        metavar="DIR",
+        help="run each experiment under cProfile and write "
+        "DIR/<exp_id>.pstats",
     )
     parser.add_argument("--output", help="also write the text report to this file")
     parser.add_argument("--json", dest="json_path",
@@ -49,7 +71,15 @@ def main(argv=None) -> int:
         "--baseline-out",
         dest="baseline_out",
         help="write a machine-readable metric snapshot for the "
-        "regression gate (python -m repro.obs gate)",
+        "regression gate (python -m repro.obs gate); includes an "
+        "informational wall_clock section",
+    )
+    parser.add_argument(
+        "--wallclock-append",
+        dest="wallclock_append",
+        metavar="PATH",
+        help="append one JSON line of per-experiment wall seconds to "
+        "PATH (the committed BENCH_wallclock.jsonl trajectory)",
     )
     args = parser.parse_args(argv)
 
@@ -58,20 +88,45 @@ def main(argv=None) -> int:
         from repro.obs import Tracer
 
         tracer = Tracer()
+        if args.jobs != 1:
+            # One Tracer cannot observe engines in other processes.
+            print("tracing requested: forcing --jobs 1")
+            args.jobs = 1
 
     exp_ids = args.experiments or sorted(ALL_EXPERIMENTS)
+
+    if args.jobs != 1:
+        from repro.bench.parallel import run_experiments_parallel
+
+        timed = run_experiments_parallel(
+            exp_ids, args.jobs, profile_dir=args.profile_dir
+        )
+    else:
+        timed = []
+        for exp_id in exp_ids:
+            if args.profile_dir is not None:
+                from repro.bench.parallel import run_one
+
+                _exp_id, payload, elapsed = run_one(exp_id, args.profile_dir)
+                from repro.bench.report import ExperimentResult
+
+                timed.append((ExperimentResult.from_dict(payload), elapsed))
+            else:
+                t0 = time.perf_counter()
+                result = run_experiment(exp_id, tracer=tracer)
+                timed.append((result, time.perf_counter() - t0))
+
     blocks = []
     dumps = []
     results = []
-    for exp_id in exp_ids:
-        t0 = time.perf_counter()
-        result = run_experiment(exp_id, tracer=tracer)
-        elapsed = time.perf_counter() - t0
+    wall_seconds = {}
+    for (result, elapsed), exp_id in zip(timed, exp_ids):
         block = render_table(result) + f"\n  (ran in {elapsed:.2f}s wall)"
         print(block)
         print()
         blocks.append(block)
         results.append(result)
+        wall_seconds[exp_id] = elapsed
         entry = result.to_dict()
         entry["wall_seconds"] = round(elapsed, 3)
         dumps.append(entry)
@@ -86,10 +141,21 @@ def main(argv=None) -> int:
         from repro.obs.report import write_baseline
 
         doc = write_baseline(args.baseline_out, results,
-                             label=" ".join(exp_ids))
+                             label=" ".join(exp_ids),
+                             wall_seconds=wall_seconds)
         n_metrics = sum(len(e["metrics"]) for e in doc["experiments"].values())
         print(f"wrote baseline for {len(doc['experiments'])} experiments "
               f"({n_metrics} metrics) to {args.baseline_out}")
+    if args.wallclock_append:
+        line = {
+            "date": time.strftime("%Y-%m-%d"),
+            "jobs": args.jobs,
+            "experiments": {k: round(v, 3) for k, v in wall_seconds.items()},
+            "total_wall_seconds": round(sum(wall_seconds.values()), 3),
+        }
+        with open(args.wallclock_append, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(line, sort_keys=True) + "\n")
+        print(f"appended wall-clock snapshot to {args.wallclock_append}")
     if tracer is not None:
         from repro.obs import write_chrome_trace, write_jsonl
 

@@ -17,6 +17,7 @@ from repro.bench.experiments.extensions import (
     run_ext_vm,
 )
 from repro.bench.experiments.faults import run_ext_degraded, run_ext_faults
+from repro.bench.experiments.scale import run_ext_scale
 
 from repro.errors import BenchmarkError
 
@@ -43,6 +44,7 @@ ALL_EXPERIMENTS = {
     "ext_pgrep": run_ext_pgrep,
     "ext_faults": run_ext_faults,
     "ext_degraded": run_ext_degraded,
+    "ext_scale": run_ext_scale,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "run_experiment"] + sorted(

@@ -159,9 +159,17 @@ class Interpreter:
     # -- public entry ----------------------------------------------------------
 
     def invoke(self, method: MethodDef, args: Sequence[Any] = (), _depth: int = 0):
-        """Generator: run ``method`` with ``args``; returns its result
-        (None for void methods).  Uncaught managed exceptions propagate
-        as :class:`ManagedException`."""
+        """Run ``method`` with ``args``: returns the simulation
+        generator to drive (``yield from`` it, or hand it to
+        ``engine.run_process``); its result is the method's return
+        value (None for void methods).  Uncaught managed exceptions
+        propagate as :class:`ManagedException`.
+
+        This is a plain dispatcher, not a generator function, so each
+        warm call costs one generator frame regardless of tier —
+        nested ``yield from`` chains stay within Python's recursion
+        limit at ``max_call_depth``.
+        """
         if _depth > self.params.max_call_depth:
             raise ExecutionFault(
                 f"call depth exceeded ({self.params.max_call_depth}) "
@@ -176,9 +184,32 @@ class Interpreter:
             raise ExecutionFault(
                 f"{method.full_name} was not verified before execution"
             )
+        jit = self.jit
+        if method.token not in jit._compiled:
+            return self._first_call(method, args, _depth)
+        self.calls.add()
+        if jit.native_enabled:
+            native = jit.native_for(method, self.params)
+            if native is not None:
+                # Template-compiled tier: same simulated-time semantics,
+                # executed as generated Python instead of opcode dispatch.
+                return native(self, args, _depth)
+        return self._interpret(method, args, _depth)
+
+    def _first_call(self, method: MethodDef, args: Sequence[Any], _depth: int):
+        """Cold path: charge the simulated compile delay, then run."""
         yield from self.jit.ensure_compiled(method)
         self.calls.add()
+        jit = self.jit
+        if jit.native_enabled:
+            native = jit.native_for(method, self.params)
+            if native is not None:
+                return (yield from native(self, args, _depth))
+        return (yield from self._interpret(method, args, _depth))
 
+    def _interpret(self, method: MethodDef, args: Sequence[Any], _depth: int):
+        """The opcode-dispatch tier (also the fallback for methods the
+        template compiler declines)."""
         p = self.params
         body = method.body
         arguments: List[Any] = list(args)

@@ -124,6 +124,12 @@ class BufferCache:
         from repro.io.eviction import make_eviction_policy
 
         self._pages: Dict[Tuple[int, int], PageState] = {}
+        # Per-file indexes kept in lockstep with ``_pages`` so close
+        # paths (flush/sync/invalidate) are O(pages of that file), not
+        # O(all resident pages) — file closes are on the macro
+        # experiments' hot path.
+        self._file_pages: Dict[int, set] = {}
+        self._dirty_by_file: Dict[int, set] = {}
         self._policy = make_eviction_policy(self.params.eviction)
         self._inflight: Dict[Tuple[int, int], Event] = {}
         self.stats = CacheStats()
@@ -146,12 +152,10 @@ class BufferCache:
         return (inode.file_id, page) in self._inflight
 
     def dirty_pages_of(self, inode: "Inode") -> List[int]:
-        fid = inode.file_id
-        return [p for (f, p), st in self._pages.items() if f == fid and st is PageState.DIRTY]
+        return list(self._dirty_by_file.get(inode.file_id, ()))
 
     def resident_pages_of(self, inode: "Inode") -> List[int]:
-        fid = inode.file_id
-        return [p for (f, p) in self._pages if f == fid]
+        return list(self._file_pages.get(inode.file_id, ()))
 
     # -- core operations ---------------------------------------------------
 
@@ -165,6 +169,24 @@ class BufferCache:
         """
         if npages < 1:
             raise StorageError(f"npages must be >= 1, got {npages}")
+        pages = self._pages
+        fid = inode.file_id
+        if all((fid, p) in pages for p in range(first_page, first_page + npages)):
+            # Fast path: the whole range is resident (the warm
+            # sequential-read case that dominates replay workloads).
+            # Same observable behavior as the general loop below —
+            # per-page policy touches in order, hit accounting, one
+            # delivery timeout, hit-ratio counter — without the
+            # run-tracking generator machinery.
+            on_access = self._policy.on_access
+            for p in range(first_page, first_page + npages):
+                on_access((fid, p))
+            self.stats.hits += npages
+            yield self.engine.timeout(self.params.page_touch_cost * npages)
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.counter("cache.hit_ratio", "io", self.stats.hit_ratio)
+            return npages, 0
         hits = misses = 0
         run_start: Optional[int] = None  # start of current absent run
         waits: List[Event] = []
@@ -362,6 +384,7 @@ class BufferCache:
         dirty = sorted(self.dirty_pages_of(inode))
         for page in dirty:
             self._pages[(inode.file_id, page)] = PageState.CLEAN
+        self._dirty_by_file.pop(inode.file_id, None)
         if dirty:
             self._writeback_async(inode, dirty)
             yield self.engine.timeout(self.params.writeback_issue_cost * len(dirty))
@@ -375,6 +398,7 @@ class BufferCache:
         dirty = sorted(self.dirty_pages_of(inode))
         for page in dirty:
             self._pages[(inode.file_id, page)] = PageState.CLEAN
+        self._dirty_by_file.pop(inode.file_id, None)
         events = []
         for start, length in _contiguous_runs(dirty):
             for lba, nblocks in inode.physical_runs(
@@ -389,11 +413,34 @@ class BufferCache:
     def invalidate_file(self, inode: "Inode") -> int:
         """Drop every resident page of ``inode`` (dirty pages are lost —
         callers flush first).  Returns the number of pages dropped."""
-        victims = [(f, p) for (f, p) in self._pages if f == inode.file_id]
+        fid = inode.file_id
+        victims = [(fid, p) for p in self._file_pages.get(fid, ())]
         for key in victims:
             del self._pages[key]
             self._policy.on_remove(key)
+        self._file_pages.pop(fid, None)
+        self._dirty_by_file.pop(fid, None)
         return len(victims)
+
+    def drop_page(self, inode: "Inode", page: int) -> None:
+        """Drop one resident page without writeback (truncate path)."""
+        key = (inode.file_id, page)
+        del self._pages[key]
+        self._policy.on_remove(key)
+        self._drop_from_indexes(key)
+
+    def _drop_from_indexes(self, key: Tuple[int, int]) -> None:
+        fid, page = key
+        pages = self._file_pages.get(fid)
+        if pages is not None:
+            pages.discard(page)
+            if not pages:
+                del self._file_pages[fid]
+        dirty = self._dirty_by_file.get(fid)
+        if dirty is not None:
+            dirty.discard(page)
+            if not dirty:
+                del self._dirty_by_file[fid]
 
     # -- internals -----------------------------------------------------------
 
@@ -425,16 +472,22 @@ class BufferCache:
             # Upgrade clean → dirty, never silently downgrade.
             if state is PageState.DIRTY or self._pages[key] is PageState.CLEAN:
                 self._pages[key] = state
+                if state is PageState.DIRTY:
+                    self._dirty_by_file.setdefault(key[0], set()).add(key[1])
             self._policy.on_access(key)
             return
         while len(self._pages) >= self.params.capacity_pages:
             self._evict_one()
         self._pages[key] = state
+        self._file_pages.setdefault(key[0], set()).add(key[1])
+        if state is PageState.DIRTY:
+            self._dirty_by_file.setdefault(key[0], set()).add(key[1])
         self._policy.on_insert(key)
 
     def _evict_one(self) -> None:
         victim_key = self._policy.victim()
         victim_state = self._pages.pop(victim_key)
+        self._drop_from_indexes(victim_key)
         self.stats.evictions += 1
         if self.probe.enabled:
             self.probe.record(

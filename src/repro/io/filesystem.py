@@ -466,9 +466,7 @@ class FileSystem:
             keep_pages = -(-new_size // page) if new_size else 0
             for page_idx in self.cache.resident_pages_of(inode):
                 if page_idx >= keep_pages:
-                    key = (inode.file_id, page_idx)
-                    del self.cache._pages[key]
-                    self.cache._policy.on_remove(key)
+                    self.cache.drop_page(inode, page_idx)
         inode.size_bytes = new_size
         if handle.position > new_size:
             handle.position = new_size

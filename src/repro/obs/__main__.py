@@ -45,12 +45,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_gate(args: argparse.Namespace) -> int:
     try:
         threshold = parse_threshold(args.threshold)
+        wall_threshold = (
+            parse_threshold(args.wall_threshold)
+            if args.wall_threshold else None
+        )
         baseline = load_baseline(args.baseline)
         candidate = load_baseline(args.candidate)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    findings = gate_compare(baseline, candidate, threshold=threshold)
+    findings = gate_compare(baseline, candidate, threshold=threshold,
+                            wall_threshold=wall_threshold)
     print(render_gate_report(findings, threshold, verbose=args.verbose))
     return 1 if any(f.regression for f in findings) else 0
 
@@ -79,6 +84,10 @@ def main(argv=None) -> int:
                       help="snapshot from the current tree")
     gate.add_argument("--threshold", default="10%",
                       help="relative regression threshold, e.g. 10%% or 0.1")
+    gate.add_argument("--wall-threshold", default=None,
+                      help="opt in to gating the informational wall_clock "
+                      "section at this threshold (e.g. 50%%); off by default "
+                      "because wall time is host-dependent")
     gate.add_argument("--verbose", action="store_true",
                       help="also print metrics that did not move")
     gate.set_defaults(fn=_cmd_gate)

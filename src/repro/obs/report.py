@@ -225,8 +225,19 @@ def result_metrics(result: Any) -> Dict[str, Dict[str, Any]]:
     return out
 
 
-def build_baseline(results: Iterable[Any], label: str = "") -> dict:
-    """Versioned, machine-readable snapshot of many experiment results."""
+def build_baseline(
+    results: Iterable[Any],
+    label: str = "",
+    wall_seconds: Optional[Dict[str, float]] = None,
+) -> dict:
+    """Versioned, machine-readable snapshot of many experiment results.
+
+    ``wall_seconds`` maps experiment id → host wall-clock seconds for
+    the run that produced it.  It lands in a top-level ``wall_clock``
+    section, *outside* ``experiments`` — informational by default, so
+    the simulated-metric gate never fails on a noisy host.  Pass
+    ``wall_threshold`` to :func:`gate_compare` to opt in to gating it.
+    """
     experiments: Dict[str, dict] = {}
     for result in results:
         metrics = result_metrics(result)
@@ -236,17 +247,28 @@ def build_baseline(results: Iterable[Any], label: str = "") -> dict:
             "title": result.title,
             "metrics": metrics,
         }
-    return {
+    doc = {
         "schema": BASELINE_SCHEMA,
         "version": BASELINE_VERSION,
         "label": label,
         "experiments": experiments,
     }
+    if wall_seconds:
+        doc["wall_clock"] = {
+            exp_id: round(float(seconds), 3)
+            for exp_id, seconds in sorted(wall_seconds.items())
+        }
+    return doc
 
 
-def write_baseline(path: str, results: Iterable[Any], label: str = "") -> dict:
+def write_baseline(
+    path: str,
+    results: Iterable[Any],
+    label: str = "",
+    wall_seconds: Optional[Dict[str, float]] = None,
+) -> dict:
     """Build and write a baseline; returns the document."""
-    doc = build_baseline(results, label=label)
+    doc = build_baseline(results, label=label, wall_seconds=wall_seconds)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
@@ -315,6 +337,7 @@ def gate_compare(
     baseline: dict,
     candidate: dict,
     threshold: float = 0.10,
+    wall_threshold: Optional[float] = None,
 ) -> List[GateFinding]:
     """Compare two baseline documents metric by metric.
 
@@ -324,9 +347,18 @@ def gate_compare(
     or metrics present in the baseline but missing from the candidate
     are structural regressions; metrics new in the candidate are
     ignored (they have nothing to regress from).
+
+    The ``wall_clock`` section is informational and skipped by
+    default; passing ``wall_threshold`` opts in to comparing it (its
+    entries never produce ``<presence>`` findings — wall numbers are
+    host-dependent and may legitimately be absent).
     """
     if threshold < 0:
         raise BenchmarkError(f"threshold must be >= 0, got {threshold}")
+    if wall_threshold is not None and wall_threshold < 0:
+        raise BenchmarkError(
+            f"wall threshold must be >= 0, got {wall_threshold}"
+        )
     findings: List[GateFinding] = []
     base_exps = baseline["experiments"]
     cand_exps = candidate["experiments"]
@@ -362,6 +394,20 @@ def gate_compare(
                     exp_id, metric, stat, float(bval), float(cval),
                     direction, worse,
                 ))
+    if wall_threshold is not None:
+        base_wall = baseline.get("wall_clock", {})
+        cand_wall = candidate.get("wall_clock", {})
+        for exp_id in sorted(base_wall):
+            bval = base_wall[exp_id]
+            cval = cand_wall.get(exp_id)
+            if cval is None:
+                continue
+            base_mag = max(abs(float(bval)), 1e-12)
+            delta = (float(cval) - float(bval)) / base_mag
+            findings.append(GateFinding(
+                exp_id, "wall_seconds", "wall", float(bval), float(cval),
+                "lower_is_better", delta > wall_threshold,
+            ))
     return findings
 
 

@@ -42,9 +42,12 @@ class Engine:
     def __init__(self, start: float = 0.0, tracer=None, metrics=None) -> None:
         self._now: float = float(start)
         self._seq: int = 0
-        # Heap items: (time, seq, payload). A payload is either an Event
-        # whose callbacks should run, or a bare callable.
-        self._queue: List[Tuple[float, int, Any]] = []
+        # Heap items: (time, seq, kind, payload).  ``kind`` is a payload
+        # tag — 1 for an Event whose callbacks should run, 0 for a bare
+        # callable — so the drain loop dispatches on an int compare
+        # instead of isinstance.  seq is unique, so kind never takes
+        # part in heap ordering.
+        self._queue: List[Tuple[float, int, int, Any]] = []
         self._live_processes: int = 0
         self._running = False
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -112,23 +115,25 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        heapq.heappush(self._queue, (self._now + delay, self._seq, 1, event))
 
     def _schedule_call(self, fn: Callable[[], None], delay: float = 0.0) -> None:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, fn))
+        heapq.heappush(self._queue, (self._now + delay, self._seq, 0, fn))
 
     # -- main loop ----------------------------------------------------------
 
     def step(self) -> None:
         """Process exactly one queued entry, advancing the clock to it."""
-        when, _seq, payload = heapq.heappop(self._queue)
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, kind, payload = heapq.heappop(self._queue)
         if when < self._now:  # pragma: no cover - heap invariant
             raise SimulationError("time went backwards")
         self._now = when
-        if isinstance(payload, Event):
+        if kind:
             callbacks = payload.callbacks
             payload.callbacks = None  # mark processed
             if callbacks:
@@ -136,7 +141,7 @@ class Engine:
                     cb(payload)
             # A failed event nobody waited on is a programming error we
             # surface rather than swallow (mirrors SimPy semantics).
-            if not payload.ok and not callbacks and not isinstance(payload, Process):
+            elif not payload._ok and not isinstance(payload, Process):
                 raise payload.value
         else:
             payload()
@@ -147,18 +152,51 @@ class Engine:
         Returns the final simulated time.  Raises :class:`DeadlockError`
         if the queue empties while processes are still alive (every
         process is blocked on an event nothing will trigger).
+
+        The drain loop is inlined (rather than calling :meth:`step`)
+        and dispatches on the heap entry's payload tag: this loop is
+        the simulator's innermost hot path, and the saved call +
+        isinstance per event is a measurable fraction of total wall
+        time on macro experiments.
         """
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         run_started = self._now
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
-                when = self._queue[0][0]
-                if until is not None and when > until:
-                    self._now = until
-                    return self._now
-                self.step()
+            if until is None:
+                while queue:  # unbounded drain: no per-event bound check
+                    when, _seq, kind, payload = heappop(queue)
+                    self._now = when
+                    if kind:
+                        callbacks = payload.callbacks
+                        payload.callbacks = None  # mark processed
+                        if callbacks:
+                            for cb in callbacks:
+                                cb(payload)
+                        elif not payload._ok and not isinstance(payload, Process):
+                            raise payload.value
+                    else:
+                        payload()
+            else:
+                while queue:
+                    if queue[0][0] > until:
+                        self._now = until
+                        return self._now
+                    when, _seq, kind, payload = heappop(queue)
+                    self._now = when
+                    if kind:
+                        callbacks = payload.callbacks
+                        payload.callbacks = None  # mark processed
+                        if callbacks:
+                            for cb in callbacks:
+                                cb(payload)
+                        elif not payload._ok and not isinstance(payload, Process):
+                            raise payload.value
+                    else:
+                        payload()
             if self._live_processes > 0:
                 raise DeadlockError(
                     f"{self._live_processes} live process(es) blocked forever "

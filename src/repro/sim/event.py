@@ -8,6 +8,7 @@ them.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
@@ -75,12 +76,19 @@ class Event:
     # -- triggering -------------------------------------------------------
 
     def succeed(self, value: Any = None) -> "Event":
-        """Trigger the event successfully and schedule its callbacks now."""
+        """Trigger the event successfully and schedule its callbacks now.
+
+        Pushes onto the engine's heap directly (a zero-delay schedule
+        needs neither the negative-delay check nor the time addition):
+        event triggering is on the simulator's hot path.
+        """
         if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.engine._schedule_event(self)
+        engine = self.engine
+        engine._seq += 1
+        heappush(engine._queue, (engine._now, engine._seq, 1, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -91,7 +99,9 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
-        self.engine._schedule_event(self)
+        engine = self.engine
+        engine._seq += 1
+        heappush(engine._queue, (engine._now, engine._seq, 1, self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -114,18 +124,31 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers after a fixed simulated delay."""
+    """An event that triggers after a fixed simulated delay.
+
+    The constructor initializes fields and pushes onto the engine's
+    heap inline (no ``super().__init__`` / ``_schedule_event``
+    indirection): the interpreter's dispatch-quantum accounting makes
+    this the most-constructed object in the whole simulator.  A zero
+    delay — the common "reschedule me" idiom — skips the time
+    addition, reusing the engine's current clock value directly.
+    """
 
     __slots__ = ("delay",)
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(engine)
-        self.delay = delay
+        self.engine = engine
+        self.callbacks = []
         self._ok = True
         self._value = value
-        engine._schedule_event(self, delay=delay)
+        self.delay = delay
+        engine._seq += 1
+        heappush(
+            engine._queue,
+            (engine._now + delay if delay else engine._now, engine._seq, 1, self),
+        )
 
 
 class _Condition(Event):

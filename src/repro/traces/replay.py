@@ -186,6 +186,8 @@ class _ReplaySession:
         self.timings = OpTimings()
         self.per_record: List[RecordTiming] = []
         self.measuring = True
+        # Bound methods hoisted for the per-record dispatch path.
+        self._timeout = engine.timeout
 
     def reset_for_measurement(self) -> None:
         for stream in self.streams.values():
@@ -205,16 +207,18 @@ class _ReplaySession:
     def fetch(self, sid: int):
         """Advance the stream; returns the next record's op code or -1."""
         stream = self._stream(sid)
-        stream.cursor += 1
-        if stream.cursor >= len(stream.indexed_records):
-            yield self.engine.timeout(0.0)
+        records = stream.indexed_records
+        cursor = stream.cursor = stream.cursor + 1
+        timeout = self._timeout
+        if cursor >= len(records):
+            yield timeout(0.0)
             return -1
-        _index, record = stream.current
+        _index, record = records[cursor]
         if self.pace and stream._last_wall is not None:
             gap = record.wall_clock - stream._last_wall
-            yield self.engine.timeout(gap if gap > 0 else 0.0)
+            yield timeout(gap if gap > 0 else 0.0)
         else:
-            yield self.engine.timeout(0.0)
+            yield timeout(0.0)
         stream._last_wall = record.wall_clock
         return int(record.op)
 

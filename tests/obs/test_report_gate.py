@@ -217,3 +217,59 @@ def test_committed_seed_baseline_is_valid_and_current_tree_passes_gate():
     }
     findings = gate_compare(subset, fresh, threshold=0.10)
     assert findings and not any(f.regression for f in findings)
+
+
+# -- wall-clock section ------------------------------------------------------
+
+def _wall_baseline(seconds):
+    return build_baseline([_result()], label="a",
+                          wall_seconds={"tabX": seconds})
+
+
+def test_baseline_records_wall_clock_section():
+    doc = _wall_baseline(1.2345678)
+    assert doc["wall_clock"] == {"tabX": 1.235}
+    # Informational only: never inside the gated experiments table.
+    assert "wall_clock" not in doc["experiments"]
+
+
+def test_baseline_omits_empty_wall_clock():
+    assert "wall_clock" not in build_baseline([_result()])
+
+
+def test_gate_ignores_wall_clock_by_default():
+    findings = gate_compare(_wall_baseline(1.0), _wall_baseline(100.0),
+                            threshold=0.10)
+    assert not any(f.regression for f in findings)
+    assert not any(f.stat == "wall" for f in findings)
+
+
+def test_gate_wall_threshold_opt_in():
+    findings = gate_compare(_wall_baseline(1.0), _wall_baseline(2.0),
+                            threshold=0.10, wall_threshold=0.5)
+    wall = [f for f in findings if f.stat == "wall"]
+    assert len(wall) == 1 and wall[0].regression
+    assert wall[0].metric == "wall_seconds"
+    ok = gate_compare(_wall_baseline(1.0), _wall_baseline(1.2),
+                      threshold=0.10, wall_threshold=0.5)
+    assert not any(f.regression for f in ok if f.stat == "wall")
+
+
+def test_gate_wall_missing_candidate_not_structural():
+    with_wall = _wall_baseline(1.0)
+    without = build_baseline([_result()], label="a")
+    findings = gate_compare(with_wall, without,
+                            threshold=0.10, wall_threshold=0.5)
+    assert not any(f.regression for f in findings)
+
+
+def test_gate_cli_wall_threshold(tmp_path, capsys):
+    fast = tmp_path / "fast.json"
+    slow = tmp_path / "slow.json"
+    fast.write_text(json.dumps(_wall_baseline(1.0)))
+    slow.write_text(json.dumps(_wall_baseline(10.0)))
+    assert obs_main(["gate", "--baseline", str(fast),
+                     "--candidate", str(slow)]) == 0
+    assert obs_main(["gate", "--baseline", str(fast),
+                     "--candidate", str(slow),
+                     "--wall-threshold", "50%"]) == 1

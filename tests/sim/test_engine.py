@@ -211,6 +211,24 @@ def test_waiting_on_already_processed_event():
     assert got == [(3.0, "early")]
 
 
+def test_step_on_empty_queue_raises_simulation_error():
+    eng = Engine()
+    with pytest.raises(SimulationError, match="empty event queue"):
+        eng.step()
+
+
+def test_step_on_empty_queue_after_drain():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1.0)
+
+    eng.process(proc())
+    eng.run()
+    with pytest.raises(SimulationError, match="empty event queue"):
+        eng.step()
+
+
 def test_run_not_reentrant():
     eng = Engine()
 
