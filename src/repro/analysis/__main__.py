@@ -1,0 +1,163 @@
+"""CLI entry point: ``python -m repro.analysis``.
+
+Analyze one or more CIL assemblies — bundled benchmark corpora by
+registry name, or any importable module exposing assemblies/methods —
+and report diagnostics::
+
+    python -m repro.analysis --all
+    python -m repro.analysis microbench webserver --format json
+    python -m repro.analysis repro.traces.replay:build_replay_method
+    python -m repro.analysis --all --fail-on warning
+
+Exit codes: 0 — no diagnostic at/above the ``--fail-on`` threshold
+(default ``error``); 1 — threshold reached; 2 — usage or target
+resolution failure.  All output is deterministically ordered, so the
+JSON document is byte-identical across runs in one interpreter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, Severity, render_text
+from repro.analysis.driver import AssemblyAnalysis, analyze_assembly, resolve_targets
+from repro.analysis.targets import BUNDLED
+from repro.errors import CliError
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis over CIL method bodies.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        metavar="ASSEMBLY",
+        help="bundled assembly name (see --list) or importable "
+        "module[:attr] exposing AssemblyDef/MethodDef values",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="analyze every bundled benchmark assembly",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list bundled assembly names and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        metavar="SEVERITY",
+        default="error",
+        help="exit 1 if any diagnostic is at or above this severity "
+        "(note|warning|error; default: error)",
+    )
+    return parser
+
+
+def _render_text_report(analyses: Sequence[AssemblyAnalysis]) -> str:
+    lines: List[str] = []
+    for aa in analyses:
+        s = aa.summary()
+        lines.append(
+            f"== {s['assembly']}: {s['methods']} method(s), "
+            f"{s['instructions']} instruction(s), {s['blocks']} block(s), "
+            f"max inline depth {s['max_inline_depth']}"
+        )
+        diags = aa.diagnostics
+        if diags:
+            lines.append(render_text(diags))
+        else:
+            lines.append("   (no diagnostics)")
+    total = sum(len(aa.diagnostics) for aa in analyses)
+    counts = {str(sev): 0 for sev in Severity}
+    for aa in analyses:
+        for d in aa.diagnostics:
+            counts[str(d.severity)] += 1
+    lines.append(
+        f"-- {total} diagnostic(s): "
+        + ", ".join(f"{counts[str(s)]} {s}" for s in Severity)
+    )
+    return "\n".join(lines)
+
+
+def _render_json_report(analyses: Sequence[AssemblyAnalysis]) -> str:
+    doc = {
+        "assemblies": [aa.to_dict() for aa in analyses],
+        "counts": {
+            str(sev): sum(
+                1
+                for aa in analyses
+                for d in aa.diagnostics
+                if d.severity is sev
+            )
+            for sev in Severity
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(BUNDLED):
+            print(name)
+        return 0
+
+    try:
+        threshold = Severity.parse(args.fail_on)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    specs = list(args.targets)
+    if args.all:
+        specs = sorted(BUNDLED) + [s for s in specs if s not in BUNDLED]
+    if not specs:
+        parser.print_usage(sys.stderr)
+        print(
+            "error: no targets (name bundled assemblies, pass module paths, "
+            "or use --all)",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        resolved = resolve_targets(specs)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    analyses = [analyze_assembly(assembly) for _name, assembly in resolved]
+
+    if args.format == "json":
+        print(_render_json_report(analyses))
+    else:
+        print(_render_text_report(analyses))
+
+    worst = max(
+        (d.severity for aa in analyses for d in aa.diagnostics),
+        default=None,
+    )
+    if worst is not None and worst >= threshold:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

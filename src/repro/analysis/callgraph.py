@@ -1,0 +1,160 @@
+"""Assembly-level call-graph facts.
+
+Builds the static call graph of an :class:`AssemblyDef` from ``call``
+operands (both direct :class:`MethodDef` references and forward
+``(name, argc, returns)`` signatures resolved through the assembly),
+then derives:
+
+* **recursion** — self-loops and larger cycles (the template JIT can
+  never inline through these);
+* **max inline depth** — the longest acyclic managed-call chain
+  rooted at each method (how deep a hypothetical inliner could go);
+* **unresolved calls** — forward signatures naming no method in the
+  assembly (late-bound or cross-assembly targets).
+
+Intrinsic calls (``callintrinsic``) are class-library boundaries, not
+managed edges, and are counted but not traversed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.cli.cil import Op
+from repro.cli.metadata import AssemblyDef, MethodDef
+from repro.errors import CliError
+
+__all__ = ["CallGraph", "build_callgraph"]
+
+
+@dataclass
+class CallGraph:
+    """Static call graph + derived facts for one assembly."""
+
+    assembly: AssemblyDef
+    #: caller full name → sorted callee full names (managed edges only).
+    edges: Dict[str, List[str]] = field(default_factory=dict)
+    #: caller full name → number of callintrinsic sites in its body.
+    intrinsic_calls: Dict[str, int] = field(default_factory=dict)
+    #: (caller, operand name) pairs that resolve to nothing here.
+    unresolved: List[Tuple[str, str]] = field(default_factory=list)
+    #: methods participating in a call cycle (sorted).
+    recursive: List[str] = field(default_factory=list)
+    #: method full name → longest acyclic managed-call chain below it
+    #: (0 = leaf).  Methods in cycles report the chain to the cycle.
+    inline_depth: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def max_inline_depth(self) -> int:
+        return max(self.inline_depth.values(), default=0)
+
+    def diagnostics(self) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for name in self.recursive:
+            out.append(Diagnostic(
+                code="recursive-call", severity=Severity.NOTE,
+                method=name, assembly=self.assembly.name,
+                message="method participates in a call cycle "
+                        "(uninlinable; unbounded stack depth possible)",
+            ))
+        for caller, target in self.unresolved:
+            out.append(Diagnostic(
+                code="unresolved-call", severity=Severity.NOTE,
+                method=caller, assembly=self.assembly.name,
+                message=f"call target {target!r} is not defined in this "
+                        "assembly (late-bound or cross-assembly)",
+            ))
+        out.sort(key=Diagnostic.sort_key)
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "edges": {k: list(v) for k, v in sorted(self.edges.items())},
+            "intrinsic_calls": dict(sorted(self.intrinsic_calls.items())),
+            "unresolved": [list(pair) for pair in sorted(self.unresolved)],
+            "recursive": list(self.recursive),
+            "inline_depth": dict(sorted(self.inline_depth.items())),
+            "max_inline_depth": self.max_inline_depth,
+        }
+
+
+def _methods(assembly: AssemblyDef) -> List[MethodDef]:
+    out: List[MethodDef] = []
+    for tname in sorted(assembly.types):
+        tdef = assembly.types[tname]
+        for mname in sorted(tdef.methods):
+            out.append(tdef.methods[mname])
+    return out
+
+
+def build_callgraph(assembly: AssemblyDef) -> CallGraph:
+    """Build the call graph and derive recursion/depth facts."""
+    graph = CallGraph(assembly)
+    methods = _methods(assembly)
+    known = {m.full_name for m in methods}
+
+    for m in methods:
+        callees: Set[str] = set()
+        intrinsics = 0
+        for ins in m.body:
+            if ins.op is Op.CALLINTRINSIC:
+                intrinsics += 1
+                continue
+            if ins.op is not Op.CALL:
+                continue
+            operand = ins.operand
+            if isinstance(operand, MethodDef):
+                callees.add(operand.full_name)
+                if operand.full_name not in known:
+                    graph.unresolved.append((m.full_name, operand.full_name))
+                continue
+            if isinstance(operand, tuple) and len(operand) == 3:
+                name = operand[0]
+                try:
+                    target = assembly.find_method(name)
+                except CliError:
+                    graph.unresolved.append((m.full_name, str(name)))
+                else:
+                    callees.add(target.full_name)
+        graph.edges[m.full_name] = sorted(callees)
+        graph.intrinsic_calls[m.full_name] = intrinsics
+
+    graph.unresolved = sorted(set(graph.unresolved))
+
+    # Cycle detection + longest acyclic chain, one DFS with colors.
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {name: WHITE for name in graph.edges}
+    depth: Dict[str, int] = {}
+    in_cycle: Set[str] = set()
+
+    def visit(name: str, stack: List[str]) -> int:
+        if color.get(name) == BLACK:
+            return depth.get(name, 0)
+        if color.get(name) == GREY:
+            # Found a cycle: everyone from the first occurrence on.
+            i = stack.index(name)
+            in_cycle.update(stack[i:])
+            return 0
+        if name not in color:  # edge to a method outside the graph
+            return 0
+        color[name] = GREY
+        stack.append(name)
+        best = 0
+        for callee in graph.edges.get(name, ()):
+            if callee == name:
+                in_cycle.add(name)
+                continue
+            best = max(best, 1 + visit(callee, stack))
+        stack.pop()
+        color[name] = BLACK
+        depth[name] = best
+        return best
+
+    for name in sorted(graph.edges):
+        if color[name] == WHITE:
+            visit(name, [])
+    graph.recursive = sorted(in_cycle)
+    graph.inline_depth = {name: depth.get(name, 0) for name in graph.edges}
+    return graph

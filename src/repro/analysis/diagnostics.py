@@ -1,0 +1,115 @@
+"""Diagnostic records produced by the analysis passes.
+
+Every pass emits :class:`Diagnostic` values rather than printing: the
+CLI, the CI gate and the tests all consume the same structured
+records.  Ordering is **deterministic** — diagnostics sort by
+``(assembly, method, pc, code, message)`` — so two runs over the same
+assemblies render byte-identical text and JSON.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Severity", "Diagnostic", "render_text", "render_json", "max_severity"]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so comparisons read naturally."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; choices: "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a coded, located, machine-sortable message.
+
+    ``pc`` is the instruction index the finding anchors to, or None
+    for method- or assembly-level facts (e.g. an unused argument or a
+    recursion cycle).  ``data`` carries pass-specific structured
+    details and must contain only JSON-serializable values.
+    """
+
+    code: str
+    severity: Severity
+    method: str
+    message: str
+    pc: Optional[int] = None
+    assembly: str = ""
+    data: Tuple[Tuple[str, object], ...] = field(default=())
+
+    def sort_key(self):
+        return (
+            self.assembly,
+            self.method,
+            -1 if self.pc is None else self.pc,
+            self.code,
+            self.message,
+        )
+
+    @property
+    def location(self) -> str:
+        where = self.method if self.pc is None else f"{self.method}@{self.pc}"
+        return f"{self.assembly}::{where}" if self.assembly else where
+
+    def to_dict(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "assembly": self.assembly,
+            "method": self.method,
+            "pc": self.pc,
+            "message": self.message,
+        }
+        if self.data:
+            doc["data"] = {k: v for k, v in self.data}
+        return doc
+
+
+def max_severity(diagnostics: Sequence[Diagnostic]) -> Optional[Severity]:
+    """The highest severity present, or None for an empty list."""
+    if not diagnostics:
+        return None
+    return max(d.severity for d in diagnostics)
+
+
+def render_text(diagnostics: Sequence[Diagnostic]) -> str:
+    """One line per diagnostic, deterministically ordered."""
+    lines: List[str] = []
+    for d in sorted(diagnostics, key=Diagnostic.sort_key):
+        lines.append(f"{d.severity}: {d.code} {d.location}: {d.message}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: Sequence[Diagnostic], summary: Optional[Dict[str, object]] = None) -> str:
+    """Deterministic JSON document (sorted keys, sorted records)."""
+    doc: Dict[str, object] = {
+        "diagnostics": [
+            d.to_dict() for d in sorted(diagnostics, key=Diagnostic.sort_key)
+        ],
+        "counts": {
+            str(sev): sum(1 for d in diagnostics if d.severity is sev)
+            for sev in Severity
+        },
+    }
+    if summary is not None:
+        doc["summary"] = summary
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,144 @@
+"""Assembly-level analysis orchestration.
+
+:func:`analyze_assembly` runs the per-method pass suite plus the call
+graph over one :class:`AssemblyDef`; :func:`resolve_targets` maps CLI
+arguments (bundled registry names, ``module`` or ``module:attr``
+paths) to assemblies.  Everything returned is deterministically
+ordered and free of interpreter-session artifacts (no method tokens),
+so two runs over the same corpus serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.callgraph import CallGraph, build_callgraph
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.passes import MethodAnalysis, analyze_method
+from repro.analysis.targets import BUNDLED, bundled_assembly
+from repro.cli.metadata import AssemblyDef, MethodDef
+from repro.errors import CliError
+
+__all__ = ["AssemblyAnalysis", "analyze_assembly", "resolve_targets"]
+
+
+@dataclass
+class AssemblyAnalysis:
+    """Full analysis of one assembly: per-method results + call graph."""
+
+    assembly: AssemblyDef
+    methods: List[MethodAnalysis] = field(default_factory=list)
+    callgraph: CallGraph = None  # type: ignore[assignment]
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        out: List[Diagnostic] = []
+        for m in self.methods:
+            out.extend(m.diagnostics)
+        out.extend(self.callgraph.diagnostics())
+        out.sort(key=Diagnostic.sort_key)
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        total_pcs = sum(len(m.method.body) for m in self.methods)
+        reachable = sum(len(m.facts.reachable_pcs()) for m in self.methods)
+        return {
+            "assembly": self.assembly.name,
+            "methods": len(self.methods),
+            "instructions": total_pcs,
+            "reachable_instructions": reachable,
+            "blocks": sum(len(m.cfg.blocks) for m in self.methods),
+            "max_inline_depth": self.callgraph.max_inline_depth,
+            "recursive_methods": len(self.callgraph.recursive),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "summary": self.summary(),
+            "methods": [
+                {
+                    "name": m.method.full_name,
+                    "instructions": len(m.method.body),
+                    "blocks": len(m.cfg.blocks),
+                    "reachable_blocks": len(m.cfg.reachable),
+                    "max_stack": m.method.max_stack,
+                    "handlers": len(m.method.handlers),
+                }
+                for m in self.methods
+            ],
+            "callgraph": self.callgraph.to_dict(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+
+def analyze_assembly(assembly: AssemblyDef) -> AssemblyAnalysis:
+    """Run the full suite over every method of ``assembly``."""
+    out = AssemblyAnalysis(assembly)
+    for tname in sorted(assembly.types):
+        tdef = assembly.types[tname]
+        for mname in sorted(tdef.methods):
+            out.methods.append(
+                analyze_method(tdef.methods[mname], assembly=assembly.name)
+            )
+    out.callgraph = build_callgraph(assembly)
+    return out
+
+
+def _assemblies_from_module(spec: str) -> List[Tuple[str, AssemblyDef]]:
+    """Resolve ``module`` / ``module:attr`` into named assemblies.
+
+    ``attr`` may be an :class:`AssemblyDef`, a :class:`MethodDef`
+    (wrapped into a single-method assembly) or a zero-argument callable
+    returning either.  Without ``attr``, module attributes holding
+    assemblies or methods are collected in name order.
+    """
+    module_name, _, attr = spec.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise CliError(f"cannot import module {module_name!r}: {exc}") from exc
+
+    def wrap(name: str, value) -> Tuple[str, AssemblyDef]:
+        if callable(value) and not isinstance(value, (AssemblyDef, MethodDef)):
+            value = value()
+        if isinstance(value, AssemblyDef):
+            return name, value
+        if isinstance(value, MethodDef):
+            from repro.cli.assembly import AssemblyBuilder
+
+            ab = AssemblyBuilder("Adhoc")
+            ab.add_method("Adhoc", value)
+            return name, ab.build()
+        raise CliError(
+            f"{spec}: {name!r} is {type(value).__name__}, not an assembly "
+            "or method"
+        )
+
+    if attr:
+        if not hasattr(module, attr):
+            raise CliError(f"module {module_name!r} has no attribute {attr!r}")
+        return [wrap(f"{module_name}:{attr}", getattr(module, attr))]
+    found = []
+    for name in sorted(vars(module)):
+        value = getattr(module, name)
+        if isinstance(value, (AssemblyDef, MethodDef)):
+            found.append(wrap(f"{module_name}:{name}", value))
+    if not found:
+        raise CliError(
+            f"module {module_name!r} exposes no AssemblyDef/MethodDef "
+            "attributes (use module:attr to name a builder)"
+        )
+    return found
+
+
+def resolve_targets(specs: Iterable[str]) -> List[Tuple[str, AssemblyDef]]:
+    """Map CLI target specs to ``(display name, assembly)`` pairs."""
+    out: List[Tuple[str, AssemblyDef]] = []
+    for spec in specs:
+        if spec in BUNDLED:
+            out.append((spec, bundled_assembly(spec)))
+        else:
+            out.extend(_assemblies_from_module(spec))
+    return out

@@ -1,0 +1,133 @@
+"""Abstract-value lattices for the CIL type flow.
+
+Two small lattices drive the worklist interpreter:
+
+* :class:`TypeVal` — a per-slot **type + optional known constant**.
+  Types form the flat lattice ``⊥ < {int32, int64, float64, string,
+  object} < ⊤``; a value additionally carries a constant when the
+  abstract interpreter can prove it (``ldc 3`` → ``int32 const 3``;
+  ``3 < 5`` → ``int32 const 1``).  Joining equal types keeps the type
+  and drops disagreeing constants; joining distinct concrete types
+  yields ⊤ (the *type confusion* the join pass reports).
+
+* :class:`Init` — the init-state lattice over locals: ``UNINIT``,
+  ``INIT``, and their join ``MAYBE``.  The VM zero-fills locals, so a
+  may-uninitialized read is a warning (lurking logic bug), not a
+  safety error.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["Kind", "TypeVal", "Init", "type_of_constant"]
+
+
+class Kind(enum.Enum):
+    """Flat type lattice elements."""
+
+    BOTTOM = "bottom"    # no value / unreachable
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    OBJECT = "object"    # arrays, exceptions, null, foreign payloads
+    TOP = "top"          # conflicting or statically unknown
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_INTS = (Kind.INT32, Kind.INT64)
+_NUMERIC = (Kind.INT32, Kind.INT64, Kind.FLOAT64)
+_I32_MIN, _I32_MAX = -(1 << 31), (1 << 31) - 1
+
+
+@dataclass(frozen=True)
+class TypeVal:
+    """One abstract stack/local value: a lattice kind plus an optional
+    proven constant (``const`` is only meaningful when ``known``)."""
+
+    kind: Kind
+    const: Any = None
+    known: bool = False
+
+    def __str__(self) -> str:
+        if self.known:
+            return f"{self.kind}({self.const!r})"
+        return str(self.kind)
+
+    # -- lattice ---------------------------------------------------------------
+
+    def join(self, other: "TypeVal") -> "TypeVal":
+        if self.kind is Kind.BOTTOM:
+            return other
+        if other.kind is Kind.BOTTOM:
+            return self
+        if self.kind is other.kind:
+            if (
+                self.known
+                and other.known
+                and type(self.const) is type(other.const)
+                and self.const == other.const
+            ):
+                return self
+            return TypeVal(self.kind)
+        if self.kind is Kind.TOP or other.kind is Kind.TOP:
+            return TOP
+        # Numeric widening keeps arithmetic joins useful: int32 ⊔
+        # int64 = int64, int ⊔ float64 = float64.  Anything else is a
+        # genuine confusion and goes to ⊤.
+        if self.kind in _NUMERIC and other.kind in _NUMERIC:
+            if Kind.FLOAT64 in (self.kind, other.kind):
+                return TypeVal(Kind.FLOAT64)
+            return TypeVal(Kind.INT64)
+        return TOP
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind in _NUMERIC
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind in _INTS
+
+    @property
+    def confused(self) -> bool:
+        return self.kind is Kind.TOP
+
+
+BOTTOM = TypeVal(Kind.BOTTOM)
+TOP = TypeVal(Kind.TOP)
+
+
+def type_of_constant(value: Any) -> TypeVal:
+    """Abstract value for an ``ldc`` operand / folded constant."""
+    if isinstance(value, bool):
+        return TypeVal(Kind.INT32, int(value), True)
+    if isinstance(value, int):
+        kind = Kind.INT32 if _I32_MIN <= value <= _I32_MAX else Kind.INT64
+        return TypeVal(kind, value, True)
+    if isinstance(value, float):
+        return TypeVal(Kind.FLOAT64, value, True)
+    if isinstance(value, str):
+        return TypeVal(Kind.STRING, value, True)
+    return TypeVal(Kind.OBJECT, value, value is None)
+
+
+class Init(enum.IntEnum):
+    """Init-state lattice for locals: join(UNINIT, INIT) = MAYBE."""
+
+    UNINIT = 0
+    INIT = 1
+    MAYBE = 2
+
+    def join(self, other: "Init") -> "Init":
+        if self is other:
+            return self
+        return Init.MAYBE
+
+    def __str__(self) -> str:
+        return self.name.lower()

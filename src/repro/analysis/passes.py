@@ -1,0 +1,302 @@
+"""Diagnostics passes over the CFG and the typed dataflow facts.
+
+Each pass is a pure function ``(method, cfg, facts) -> [Diagnostic]``;
+:func:`analyze_method` runs the whole registered suite and returns a
+:class:`MethodAnalysis` bundling the CFG, the typed facts and the
+deterministically ordered diagnostics.
+
+Pass catalogue (code → meaning):
+
+* ``unreachable-code``       — instructions no control path reaches;
+* ``uninit-local``           — ``ldloc`` before any definite store
+  (the VM zero-fills locals, so this is a lurking-logic warning);
+* ``type-confusion``         — a join merged two distinct concrete
+  types into ⊤ for a live slot;
+* ``type-error``             — an operation certain to fault at
+  runtime (``shl`` on a float, ``ldlen`` on an int, malformed call
+  operands, unknown ``conv`` kinds);
+* ``type-suspect``           — suspicious but not certainly fatal
+  (``conv`` on a string, certain divide-by-zero — catchable);
+* ``const-branch``           — a branch whose condition is proven
+  constant (one edge can never be taken);
+* ``const-compare``          — a comparison folding to a constant;
+* ``dead-store``             — ``stloc`` whose value no path reads;
+* ``unused-local`` / ``unused-arg`` — declared but never loaded;
+* ``fallthrough-into-handler`` — a non-exception edge enters a
+  protected region's handler block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.lattice import Init
+from repro.analysis.typeflow import TypeFacts, analyze_types
+from repro.cli.cil import Op
+from repro.cli.metadata import MethodDef
+
+__all__ = ["MethodAnalysis", "analyze_method", "PASSES"]
+
+PassFn = Callable[[MethodDef, CFG, TypeFacts], List[Diagnostic]]
+
+
+@dataclass
+class MethodAnalysis:
+    """Analysis bundle for one method."""
+
+    method: MethodDef
+    cfg: CFG
+    facts: TypeFacts
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+
+def _diag(
+    code: str,
+    severity: Severity,
+    method: MethodDef,
+    message: str,
+    pc=None,
+    **data,
+) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=severity,
+        method=method.full_name,
+        message=message,
+        pc=pc,
+        data=tuple(sorted(data.items())),
+    )
+
+
+# -- passes -------------------------------------------------------------------
+
+def pass_unreachable_code(method, cfg, facts) -> List[Diagnostic]:
+    """Contiguous runs of instructions no control path reaches."""
+    out: List[Diagnostic] = []
+    dead = [pc for pc, s in enumerate(facts.entry_states) if s is None]
+    if not dead:
+        return out
+    runs: List[Tuple[int, int]] = []
+    start = prev = dead[0]
+    for pc in dead[1:]:
+        if pc == prev + 1:
+            prev = pc
+            continue
+        runs.append((start, prev))
+        start = prev = pc
+    runs.append((start, prev))
+    for lo, hi in runs:
+        span = f"pc {lo}" if lo == hi else f"pc {lo}..{hi}"
+        out.append(_diag(
+            "unreachable-code", Severity.WARNING, method,
+            f"{span}: {hi - lo + 1} unreachable instruction(s)",
+            pc=lo, first=lo, last=hi,
+        ))
+    return out
+
+
+def pass_uninit_local(method, cfg, facts) -> List[Diagnostic]:
+    out = []
+    for pc, index, state in facts.uninit_reads:
+        path = ("on every path" if state is Init.UNINIT
+                else "on some path")
+        out.append(_diag(
+            "uninit-local", Severity.WARNING, method,
+            f"local {index} is read before any store {path} "
+            "(locals are zero-filled; likely a logic bug)",
+            pc=pc, local=index, state=str(state),
+        ))
+    return out
+
+
+def pass_type_confusion(method, cfg, facts) -> List[Diagnostic]:
+    out = []
+    for pc, slot, (ka, kb) in facts.join_confusions:
+        out.append(_diag(
+            "type-confusion", Severity.WARNING, method,
+            f"{slot} merges {ka} and {kb} at a join (type becomes ⊤)",
+            pc=pc, slot=slot, kinds=[ka, kb],
+        ))
+    return out
+
+
+def pass_type_errors(method, cfg, facts) -> List[Diagnostic]:
+    out = []
+    for pc, message in facts.type_errors:
+        out.append(_diag("type-error", Severity.ERROR, method, message, pc=pc))
+    for pc, message in facts.type_warnings:
+        out.append(_diag("type-suspect", Severity.WARNING, method, message, pc=pc))
+    return out
+
+
+def pass_const_branches(method, cfg, facts) -> List[Diagnostic]:
+    out = []
+    for pc, taken in facts.const_branches:
+        op = method.body[pc].op.value
+        edge = "always taken" if taken else "never taken"
+        out.append(_diag(
+            "const-branch", Severity.WARNING, method,
+            f"{op} condition is constant: branch {edge}",
+            pc=pc, taken=taken,
+        ))
+    for pc, op, value in facts.const_cmps:
+        out.append(_diag(
+            "const-compare", Severity.NOTE, method,
+            f"{op} always evaluates to {value}",
+            pc=pc, value=value,
+        ))
+    return out
+
+
+def _liveness(method: MethodDef, cfg: CFG) -> Dict[int, Set[int]]:
+    """Per-block live-in sets for locals (backwards dataflow).
+
+    Exception edges are handled conservatively: a block inside a
+    protected region keeps the handler's live-in alive at *every* pc,
+    because unwinding may leave the block mid-way.
+    """
+    body = method.body
+    use: Dict[int, Set[int]] = {}
+    defs: Dict[int, Set[int]] = {}
+    for b in cfg.blocks:
+        u: Set[int] = set()
+        d: Set[int] = set()
+        for pc in b.pcs:
+            ins = body[pc]
+            if ins.op is Op.LDLOC and isinstance(ins.operand, int):
+                if ins.operand not in d:
+                    u.add(ins.operand)
+            elif ins.op is Op.STLOC and isinstance(ins.operand, int):
+                d.add(ins.operand)
+        use[b.index] = u
+        defs[b.index] = d
+
+    live_in: Dict[int, Set[int]] = {b.index: set() for b in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for b in reversed(cfg.blocks):
+            out: Set[int] = set()
+            exc: Set[int] = set()
+            for e in b.successors:
+                if e.kind == "exception":
+                    exc |= live_in[e.dst]
+                else:
+                    out |= live_in[e.dst]
+            # Handler uses survive the whole block (mid-block unwind).
+            new = use[b.index] | (out - defs[b.index]) | exc
+            if new != live_in[b.index]:
+                live_in[b.index] = new
+                changed = True
+    return live_in
+
+
+def pass_dead_stores(method, cfg, facts) -> List[Diagnostic]:
+    """``stloc`` instructions whose stored value no path ever reads."""
+    body = method.body
+    live_in = _liveness(method, cfg)
+    out: List[Diagnostic] = []
+    for b in cfg.blocks:
+        if b.index not in cfg.reachable:
+            continue  # unreachable code is its own diagnostic
+        live: Set[int] = set()
+        exc: Set[int] = set()
+        for e in b.successors:
+            if e.kind == "exception":
+                exc |= live_in[e.dst]
+            else:
+                live |= live_in[e.dst]
+        for pc in reversed(b.pcs):
+            ins = body[pc]
+            if ins.op is Op.STLOC and isinstance(ins.operand, int):
+                if ins.operand not in live and ins.operand not in exc:
+                    out.append(_diag(
+                        "dead-store", Severity.NOTE, method,
+                        f"value stored to local {ins.operand} is never read",
+                        pc=pc, local=ins.operand,
+                    ))
+                live.discard(ins.operand)
+            elif ins.op is Op.LDLOC and isinstance(ins.operand, int):
+                live.add(ins.operand)
+    return out
+
+
+def pass_unused_slots(method, cfg, facts) -> List[Diagnostic]:
+    """Locals never loaded and arguments never loaded, method-wide."""
+    loaded_locals: Set[int] = set()
+    loaded_args: Set[int] = set()
+    for ins in method.body:
+        if ins.op is Op.LDLOC and isinstance(ins.operand, int):
+            loaded_locals.add(ins.operand)
+        elif ins.op is Op.LDARG and isinstance(ins.operand, int):
+            loaded_args.add(ins.operand)
+    out: List[Diagnostic] = []
+    for i in range(method.local_count):
+        if i not in loaded_locals:
+            out.append(_diag(
+                "unused-local", Severity.NOTE, method,
+                f"local {i} is never read", local=i,
+            ))
+    for i, name in enumerate(method.param_names):
+        if i not in loaded_args:
+            out.append(_diag(
+                "unused-arg", Severity.NOTE, method,
+                f"argument {i} ({name!r}) is never read", arg=i, name=name,
+            ))
+    return out
+
+
+def pass_fallthrough_into_handler(method, cfg, facts) -> List[Diagnostic]:
+    """Normal control flow entering a handler block: legal when the
+    depths line up (the verifier allows it) but almost always a
+    structuring mistake."""
+    out: List[Diagnostic] = []
+    for b in cfg.blocks:
+        if not b.is_handler_entry:
+            continue
+        for e in b.predecessors:
+            if e.kind != "exception" and e.src in cfg.reachable:
+                out.append(_diag(
+                    "fallthrough-into-handler", Severity.WARNING, method,
+                    f"block B{e.src} enters handler block B{b.index} via a "
+                    f"{e.kind} edge (handlers expect the exception object)",
+                    pc=b.start, src_block=e.src, kind=e.kind,
+                ))
+    return out
+
+
+#: The registered suite, in execution order.
+PASSES: List[Tuple[str, PassFn]] = [
+    ("unreachable-code", pass_unreachable_code),
+    ("uninit-local", pass_uninit_local),
+    ("type-confusion", pass_type_confusion),
+    ("type-errors", pass_type_errors),
+    ("const-branches", pass_const_branches),
+    ("dead-stores", pass_dead_stores),
+    ("unused-slots", pass_unused_slots),
+    ("fallthrough-into-handler", pass_fallthrough_into_handler),
+]
+
+
+def analyze_method(method: MethodDef, assembly: str = "") -> MethodAnalysis:
+    """CFG + typed dataflow + the full pass suite for one method."""
+    cfg = build_cfg(method)
+    facts = analyze_types(method)
+    diagnostics: List[Diagnostic] = []
+    for _name, fn in PASSES:
+        found = fn(method, cfg, facts)
+        if assembly:
+            found = [
+                Diagnostic(
+                    code=d.code, severity=d.severity, method=d.method,
+                    message=d.message, pc=d.pc, assembly=assembly,
+                    data=d.data,
+                )
+                for d in found
+            ]
+        diagnostics.extend(found)
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return MethodAnalysis(method, cfg, facts, diagnostics)

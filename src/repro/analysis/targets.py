@@ -1,0 +1,156 @@
+"""Bundled benchmark assemblies — the analyzer's standard corpus.
+
+Every CIL program the repo ships as part of a benchmark is
+constructible here by name, so ``python -m repro.analysis`` (and the
+CI job) can sweep the whole corpus:
+
+* ``microbench``    — the :mod:`repro.cli.microbench` kernel suite
+  (``ext_cil``'s workload);
+* ``trace_replay``  — the trace-replay dispatch loop
+  (:func:`repro.traces.replay.build_replay_method`);
+* ``webserver``     — the web-server handler chain
+  (:func:`repro.webserver.server.build_handler_methods`);
+* ``qcrd_cil``      — a CIL encoding of the QCRD application's phase
+  structure (paper §2.2, Eqs. 9–10): Program 1's 12 alternating
+  CPU/I-O cycles and Program 2's 13 identical I/O phases as managed
+  driver loops over ``Qcrd.*`` intrinsics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Set
+
+from repro.cli.assembly import AssemblyBuilder, MethodBuilder
+from repro.cli.cil import Op
+from repro.cli.metadata import AssemblyDef, MethodDef
+from repro.errors import CliError
+
+__all__ = [
+    "BUNDLED",
+    "bundled_assembly",
+    "build_microbench_assembly",
+    "build_trace_replay_assembly",
+    "build_webserver_assembly",
+    "build_qcrd_cil_assembly",
+]
+
+
+def _add_with_callees(
+    ab: AssemblyBuilder, type_name: str, method: MethodDef, seen: Set[int]
+) -> None:
+    """Add ``method`` and every MethodDef it references (helpers built
+    outside an assembly, e.g. the microbench ``call`` kernel's callee)."""
+    if method.token in seen:
+        return
+    seen.add(method.token)
+    for ins in method.body:
+        if ins.op is Op.CALL and isinstance(ins.operand, MethodDef):
+            _add_with_callees(ab, type_name, ins.operand, seen)
+    ab.add_method(type_name, method)
+
+
+def build_microbench_assembly() -> AssemblyDef:
+    """All microbenchmark kernels (plus their helper callees)."""
+    from repro.cli.microbench import KERNELS, build_kernel
+
+    ab = AssemblyBuilder("Microbench")
+    seen: Set[int] = set()
+    for name in sorted(KERNELS):
+        method, _expected = build_kernel(name)
+        _add_with_callees(ab, "Kernels", method, seen)
+    return ab.build()
+
+
+def build_trace_replay_assembly() -> AssemblyDef:
+    """The trace-replay dispatch loop, as the replayer assembles it."""
+    from repro.traces.replay import build_replay_method
+
+    ab = AssemblyBuilder("TraceBenchmark")
+    ab.add_method("TraceBench", build_replay_method())
+    return ab.build()
+
+
+def build_webserver_assembly() -> AssemblyDef:
+    """The web-server handler chain, as the server assembles it."""
+    from repro.webserver.server import build_handler_methods
+
+    ab = AssemblyBuilder("WebServerApp")
+    for method in build_handler_methods():
+        ab.add_method("Work", method)
+    return ab.build()
+
+
+def build_qcrd_cil_assembly() -> AssemblyDef:
+    """QCRD's phase structure as managed driver loops.
+
+    ``RunProgram1(cycles)`` runs ``cycles`` CPU/I-O cycle pairs
+    (Eq. 9's alternating odd/even working sets); ``RunProgram2(phases)``
+    runs ``phases`` identical I/O phases (Eq. 10); ``Main`` drives
+    both with the paper's repetition counts (12 cycles, 13 phases) and
+    returns the total phase count, also accumulated into the
+    ``Qcrd::phases_total`` static for cross-thread observability.
+    """
+    program1 = (
+        MethodBuilder("RunProgram1", returns=True)
+        .arg("cycles").local("i").local("phases")
+        .ldc(0).stloc("phases")
+        .ldc(0).stloc("i")
+        .label("top")
+        .ldloc("i").ldarg("cycles").clt().brfalse("done")
+        .ldloc("i").call_intrinsic("Qcrd.ComputePhase", 1, False)
+        .ldloc("i").call_intrinsic("Qcrd.IoPhase", 1, False)
+        .ldloc("phases").ldc(2).add().stloc("phases")
+        .ldloc("i").ldc(1).add().stloc("i")
+        .br("top")
+        .label("done")
+        .ldloc("phases").ret()
+        .build()
+    )
+    program2 = (
+        MethodBuilder("RunProgram2", returns=True)
+        .arg("phases").local("i")
+        .ldc(0).stloc("i")
+        .label("top")
+        .ldloc("i").ldarg("phases").clt().brfalse("done")
+        .ldloc("i").call_intrinsic("Qcrd.IoPhase", 1, False)
+        .ldloc("i").ldc(1).add().stloc("i")
+        .br("top")
+        .label("done")
+        .ldloc("i").conv("i8").ret()
+        .build()
+    )
+    main = (
+        MethodBuilder("Main", returns=True)
+        .local("total")
+        .ldc(12).call(program1)
+        .ldc(13).call(program2)
+        .add().conv("i4").stloc("total")
+        .ldsfld("Qcrd::phases_total").ldloc("total").add()
+        .stsfld("Qcrd::phases_total")
+        .ldloc("total").ret()
+        .build()
+    )
+    ab = AssemblyBuilder("QcrdCil")
+    for method in (program1, program2, main):
+        ab.add_method("Qcrd", method)
+    return ab.build()
+
+
+#: name → builder for every bundled benchmark assembly.
+BUNDLED: Dict[str, Callable[[], AssemblyDef]] = {
+    "microbench": build_microbench_assembly,
+    "trace_replay": build_trace_replay_assembly,
+    "webserver": build_webserver_assembly,
+    "qcrd_cil": build_qcrd_cil_assembly,
+}
+
+
+def bundled_assembly(name: str) -> AssemblyDef:
+    """Build one bundled assembly by registry name."""
+    try:
+        builder = BUNDLED[name]
+    except KeyError:
+        raise CliError(
+            f"unknown bundled assembly {name!r}; choices: {sorted(BUNDLED)}"
+        ) from None
+    return builder()

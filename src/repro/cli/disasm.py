@@ -24,19 +24,23 @@ Dialect::
 
 Protected regions use ``.try`` / ``.endtry <handler-label> [prefix]``
 directives at the matching positions.
+
+Run as a CLI — ``python -m repro.cli.disasm <bundled-assembly>
+[Type::Method] [--cfg]`` — to list any bundled benchmark method;
+``--cfg`` appends the basic-block graph from :mod:`repro.analysis.cfg`.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cli.assembly import MethodBuilder
 from repro.cli.cil import Instruction, Op
 from repro.cli.metadata import MethodDef
 from repro.errors import CliError
 
-__all__ = ["disassemble", "parse_cil"]
+__all__ = ["disassemble", "parse_cil", "format_cfg", "main"]
 
 _BRANCHES = (Op.BR, Op.BRTRUE, Op.BRFALSE)
 
@@ -190,3 +194,70 @@ def parse_cil(source: str, verify: bool = True) -> MethodDef:
     if builder is None:
         raise CliError("empty CIL source")
     return builder.build(verify=verify)
+
+
+def format_cfg(method: MethodDef) -> str:
+    """The method's basic-block graph as deterministic text (the
+    ``--cfg`` rendering): blocks with pc ranges, handler/unreachable
+    flags, and fall/branch/exception edges."""
+    from repro.analysis.cfg import build_cfg  # lazy: keep cli→analysis soft
+
+    return build_cfg(method).format()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: disassemble bundled benchmark methods."""
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli.disasm",
+        description="Disassemble bundled benchmark CIL methods.",
+    )
+    parser.add_argument(
+        "assembly",
+        help="bundled assembly name (microbench, trace_replay, "
+        "webserver, qcrd_cil)",
+    )
+    parser.add_argument(
+        "method",
+        nargs="?",
+        help="qualified method name (Type::Method); default: all methods",
+    )
+    parser.add_argument(
+        "--cfg",
+        action="store_true",
+        help="also print the basic-block graph of each method",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis.targets import bundled_assembly
+
+    try:
+        assembly = bundled_assembly(args.assembly)
+        if args.method is not None:
+            methods = [assembly.find_method(args.method)]
+        else:
+            methods = [
+                assembly.types[t].methods[m]
+                for t in sorted(assembly.types)
+                for m in sorted(assembly.types[t].methods)
+            ]
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    chunks = []
+    for method in methods:
+        text = disassemble(method)
+        if args.cfg:
+            text += "\n\n" + format_cfg(method)
+        chunks.append(text)
+    print("\n\n".join(chunks))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

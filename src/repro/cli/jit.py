@@ -21,6 +21,13 @@ unchanged — the native tier only makes the *simulator* faster.  Set
 ``REPRO_JIT_NATIVE=0`` (or pass ``native_enabled=False``) to force
 the pure interpreter tier, e.g. for differential testing or
 before/after wall-clock measurements.
+
+Eligibility is decided by a *gate* (see
+:func:`repro.cli.jitcompile.native_eligible`): the default
+``syntactic`` gate scans the whole body; the ``analysis`` gate uses
+:mod:`repro.analysis` reachability to also admit methods whose only
+unsupported instructions are dead code.  Select it with
+``REPRO_JIT_GATE=analysis`` or the ``gate=`` constructor argument.
 """
 
 from __future__ import annotations
@@ -62,6 +69,7 @@ class JitCompiler:
         engine: Engine,
         params: JitParams | None = None,
         native_enabled: Optional[bool] = None,
+        gate: Optional[str] = None,
     ) -> None:
         self.engine = engine
         self.params = params or JitParams()
@@ -70,9 +78,19 @@ class JitCompiler:
         if native_enabled is None:
             native_enabled = os.environ.get("REPRO_JIT_NATIVE", "1") != "0"
         self.native_enabled = native_enabled
-        #: (method token, InterpreterParams) → compiled closure, or None
-        #: when the method fell back to the interpreter tier.
-        self._native: Dict[Tuple[int, Any], Optional[Callable]] = {}
+        if gate is None:
+            gate = os.environ.get("REPRO_JIT_GATE", "syntactic")
+        from repro.cli.jitcompile import GATES
+
+        if gate not in GATES:
+            raise JitError(
+                f"unknown JIT gate {gate!r}; choices: {list(GATES)} "
+                "(set REPRO_JIT_GATE or the gate= argument)"
+            )
+        self.gate = gate
+        #: (method token, InterpreterParams, gate) → compiled closure,
+        #: or None when the method fell back to the interpreter tier.
+        self._native: Dict[Tuple[int, Any, str], Optional[Callable]] = {}
         self.methods_compiled = Counter("jit.methods")
         self.compile_times = Tally("jit.time")
         engine.metrics.register(self.methods_compiled.name, self.methods_compiled)
@@ -127,13 +145,13 @@ class JitCompiler:
         """
         if not self.native_enabled:
             return None
-        key = (method.token, interp_params)
+        key = (method.token, interp_params, self.gate)
         try:
             return self._native[key]
         except KeyError:
             from repro.cli.jitcompile import compile_native
 
-            fn = compile_native(method, interp_params)
+            fn = compile_native(method, interp_params, gate=self.gate)
             self._native[key] = fn
             return fn
 

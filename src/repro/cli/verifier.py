@@ -30,26 +30,65 @@ from repro.errors import VerificationError
 __all__ = ["verify_method"]
 
 
-def _call_effect(ins: Instruction) -> Tuple[int, int]:
-    """(pops, pushes) for a call-like instruction, from its operand."""
+def _well_formed_call_tuple(operand: object) -> bool:
+    """``(name, argc, returns)`` with a non-negative int argc — the
+    shape both the interpreter and the template compiler assume."""
+    return (
+        isinstance(operand, tuple)
+        and len(operand) == 3
+        and isinstance(operand[0], str)
+        and isinstance(operand[1], int)
+        and not isinstance(operand[1], bool)
+        and operand[1] >= 0
+        and isinstance(operand[2], bool)
+    )
+
+
+def _call_effect(
+    ins: Instruction,
+    method: Optional[MethodDef] = None,
+    pc: Optional[int] = None,
+) -> Tuple[int, int]:
+    """(pops, pushes) for a call-like instruction, from its operand.
+
+    ``method`` and ``pc`` locate the failing instruction in the error
+    message when given (the verifier always passes them; other callers
+    only reach this for already-verified bodies).
+    """
+    where = (
+        f"{method.full_name}@{pc}: {ins.op.value}: "
+        if method is not None and pc is not None
+        else ""
+    )
     operand = ins.operand
     if ins.op is Op.CALL:
         if isinstance(operand, MethodDef):
             return operand.param_count, 1 if operand.returns else 0
-        if isinstance(operand, tuple) and len(operand) == 3:
+        if _well_formed_call_tuple(operand):
             _name, argc, returns = operand
             return argc, 1 if returns else 0
-        raise VerificationError(f"malformed call operand: {operand!r}")
+        raise VerificationError(f"{where}malformed call operand: {operand!r}")
     if ins.op is Op.CALLINTRINSIC:
-        if isinstance(operand, tuple) and len(operand) == 3:
+        if _well_formed_call_tuple(operand):
             _name, argc, returns = operand
             return argc, 1 if returns else 0
-        raise VerificationError(f"malformed intrinsic operand: {operand!r}")
+        raise VerificationError(
+            f"{where}malformed intrinsic operand: {operand!r}"
+        )
     raise AssertionError("not a call instruction")  # pragma: no cover
 
 
-def verify_method(method: MethodDef) -> int:
-    """Verify ``method``; returns (and records) its max stack depth."""
+def verify_method(method: MethodDef, record_types: bool = False) -> int:
+    """Verify ``method``; returns (and records) its max stack depth.
+
+    With ``record_types=True`` the typed abstract interpreter from
+    :mod:`repro.analysis.typeflow` also runs on success and the per-pc
+    entry stack types are attached as ``method.entry_types`` — the
+    interpreter's debug mode checks the runtime stack against them.
+
+    Every failure raises :class:`VerificationError` whose message names
+    the method, the failing pc and the opcode at that pc.
+    """
     body = method.body
     n = len(body)
     if n == 0:
@@ -62,11 +101,12 @@ def verify_method(method: MethodDef) -> int:
     max_stack = 0
     worklist: List[Tuple[int, int]] = [(0, 0)]
 
-    def flow_to(target: int, depth: int) -> None:
+    def flow_to(target: int, depth: int, src_pc: int, src_op: Op) -> None:
         nonlocal max_stack
         if not (0 <= target < n):
             raise VerificationError(
-                f"{method.full_name}: branch target {target} out of range [0,{n})"
+                f"{method.full_name}@{src_pc}: {src_op.value}: "
+                f"branch target {target} out of range [0,{n})"
             )
         known = entry_depth[target]
         if known is None:
@@ -74,7 +114,8 @@ def verify_method(method: MethodDef) -> int:
             worklist.append((target, depth))
         elif known != depth:
             raise VerificationError(
-                f"{method.full_name}: inconsistent stack depth at {target} "
+                f"{method.full_name}@{src_pc}: {src_op.value}: "
+                f"inconsistent stack depth at {target} "
                 f"({known} vs {depth})"
             )
 
@@ -115,7 +156,8 @@ def verify_method(method: MethodDef) -> int:
                 0 <= ins.operand < method.local_count
             ):
                 raise VerificationError(
-                    f"{method.full_name}@{pc}: local index {ins.operand!r} "
+                    f"{method.full_name}@{pc}: {op.value}: "
+                    f"local index {ins.operand!r} "
                     f"out of range [0,{method.local_count})"
                 )
         elif op in (Op.LDARG, Op.STARG):
@@ -123,14 +165,15 @@ def verify_method(method: MethodDef) -> int:
                 0 <= ins.operand < method.param_count
             ):
                 raise VerificationError(
-                    f"{method.full_name}@{pc}: argument index {ins.operand!r} "
+                    f"{method.full_name}@{pc}: {op.value}: "
+                    f"argument index {ins.operand!r} "
                     f"out of range [0,{method.param_count})"
                 )
         elif op in (Op.BR, Op.BRTRUE, Op.BRFALSE):
             if not isinstance(ins.operand, int):
                 raise VerificationError(
-                    f"{method.full_name}@{pc}: unresolved branch label "
-                    f"{ins.operand!r}"
+                    f"{method.full_name}@{pc}: {op.value}: "
+                    f"unresolved branch label {ins.operand!r}"
                 )
 
         # Stack effect.
@@ -148,7 +191,7 @@ def verify_method(method: MethodDef) -> int:
                 )
             continue  # control never falls through a throw
         if op in (Op.CALL, Op.CALLINTRINSIC):
-            pops, pushes = _call_effect(ins)
+            pops, pushes = _call_effect(ins, method, pc)
         else:
             effect = STACK_EFFECTS[op]
             assert effect is not None
@@ -165,15 +208,20 @@ def verify_method(method: MethodDef) -> int:
 
         # Successors.
         if op is Op.BR:
-            flow_to(ins.operand, depth)
+            flow_to(ins.operand, depth, pc, op)
             continue
         if op in (Op.BRTRUE, Op.BRFALSE):
-            flow_to(ins.operand, depth)
+            flow_to(ins.operand, depth, pc, op)
         if pc + 1 >= n:
             raise VerificationError(
-                f"{method.full_name}@{pc}: execution falls off the end of the body"
+                f"{method.full_name}@{pc}: {op.value}: "
+                "execution falls off the end of the body"
             )
-        flow_to(pc + 1, depth)
+        flow_to(pc + 1, depth, pc, op)
 
     method.max_stack = max_stack
+    if record_types:
+        from repro.analysis.typeflow import analyze_types  # lazy: no cycle
+
+        method.entry_types = analyze_types(method).stack_kinds()
     return max_stack

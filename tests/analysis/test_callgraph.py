@@ -1,0 +1,82 @@
+"""Call-graph facts: edges, recursion, inline depth, unresolved."""
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.targets import bundled_assembly
+from repro.cli.assembly import AssemblyBuilder, MethodBuilder
+
+
+def chain_assembly():
+    """c -> b -> a (depth 2 from c)."""
+    a = MethodBuilder("A", returns=True).ldc(1).ret().build()
+    b = MethodBuilder("B", returns=True).call(a).ret().build()
+    c = MethodBuilder("C", returns=True).call(b).ret().build()
+    ab = AssemblyBuilder("Chain")
+    for m in (a, b, c):
+        ab.add_method("T", m)
+    return ab.build()
+
+
+def test_edges_and_inline_depth():
+    graph = build_callgraph(chain_assembly())
+    assert graph.edges["T::C"] == ["T::B"]
+    assert graph.edges["T::B"] == ["T::A"]
+    assert graph.edges["T::A"] == []
+    assert graph.inline_depth == {"T::A": 0, "T::B": 1, "T::C": 2}
+    assert graph.max_inline_depth == 2
+    assert graph.recursive == []
+
+
+def test_mutual_recursion_detected():
+    # Forward signatures let two methods call each other.
+    ping = (
+        MethodBuilder("Ping", returns=True)
+        .arg("n")
+        .ldarg("n").brfalse("base")
+        .ldarg("n").ldc(1).sub().call(("T::Pong", 1, True)).ret()
+        .label("base").ldc(0).ret()
+        .build()
+    )
+    pong = (
+        MethodBuilder("Pong", returns=True)
+        .arg("n")
+        .ldarg("n").call(("T::Ping", 1, True)).ret()
+        .build()
+    )
+    ab = AssemblyBuilder("Mutual")
+    ab.add_method("T", ping)
+    ab.add_method("T", pong)
+    graph = build_callgraph(ab.build())
+    assert graph.recursive == ["T::Ping", "T::Pong"]
+    notes = graph.diagnostics()
+    assert sum(1 for d in notes if d.code == "recursive-call") == 2
+
+
+def test_unresolved_forward_call():
+    m = (
+        MethodBuilder("Caller", returns=True)
+        .ldc(3).call(("Elsewhere::Missing", 1, True)).ret()
+        .build()
+    )
+    ab = AssemblyBuilder("Unresolved")
+    ab.add_method("T", m)
+    graph = build_callgraph(ab.build())
+    assert graph.unresolved == [("T::Caller", "Elsewhere::Missing")]
+    assert any(d.code == "unresolved-call" for d in graph.diagnostics())
+
+
+def test_intrinsic_calls_counted_not_traversed():
+    graph = build_callgraph(bundled_assembly("qcrd_cil"))
+    assert graph.intrinsic_calls["Qcrd::RunProgram1"] == 2
+    assert graph.intrinsic_calls["Qcrd::RunProgram2"] == 1
+    assert graph.edges["Qcrd::Main"] == [
+        "Qcrd::RunProgram1", "Qcrd::RunProgram2",
+    ]
+    assert graph.recursive == []
+
+
+def test_to_dict_is_deterministic():
+    asm = bundled_assembly("microbench")
+    first = build_callgraph(asm).to_dict()
+    second = build_callgraph(asm).to_dict()
+    assert first == second
+    assert "max_inline_depth" in first

@@ -1,0 +1,118 @@
+"""The determinism lint: banned primitives, pragma, repo cleanliness."""
+
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parents[2] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import lint_determinism  # noqa: E402
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def findings_for(tmp_path, source):
+    f = tmp_path / "mod.py"
+    f.write_text(source)
+    return lint_determinism.lint_file(f)
+
+
+def test_repo_source_tree_is_clean():
+    findings = lint_determinism.lint_paths([SRC])
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_wall_clock_reads_flagged(tmp_path):
+    found = findings_for(tmp_path, (
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.perf_counter()\n"
+        "c = time.monotonic_ns()\n"
+    ))
+    assert len(found) == 3
+    assert all("wall-clock" in f.message for f in found)
+
+
+def test_strftime_needs_explicit_time_tuple(tmp_path):
+    found = findings_for(tmp_path, (
+        "import time\n"
+        "bad = time.strftime('%Y')\n"
+        "ok = time.strftime('%Y', time.gmtime(0))\n"
+    ))
+    assert [f.line for f in found] == [2]
+
+
+def test_datetime_now_flagged(tmp_path):
+    found = findings_for(tmp_path, (
+        "import datetime\n"
+        "a = datetime.datetime.now()\n"
+        "b = datetime.date.today()\n"
+    ))
+    assert len(found) == 2
+
+
+def test_bare_random_and_entropy_sources_flagged(tmp_path):
+    found = findings_for(tmp_path, (
+        "import os, random, uuid\n"
+        "a = random.random()\n"
+        "b = random.randint(0, 9)\n"
+        "c = os.urandom(8)\n"
+        "d = uuid.uuid4()\n"
+    ))
+    assert len(found) == 4
+
+
+def test_seeded_rng_instances_allowed(tmp_path):
+    found = findings_for(tmp_path, (
+        "import random\n"
+        "rng = random.Random(42)\n"
+        "a = rng.random()\n"
+        "import numpy as np\n"
+        "g = np.random.default_rng(7)\n"
+    ))
+    assert found == []
+
+
+def test_pragma_allows_line(tmp_path):
+    found = findings_for(tmp_path, (
+        "import time\n"
+        "t0 = time.perf_counter()  # det: allow - wall measurement\n"
+        "t1 = time.perf_counter()\n"
+    ))
+    assert [f.line for f in found] == [3]
+
+
+def test_id_keyed_dict_iteration_flagged(tmp_path):
+    found = findings_for(tmp_path, (
+        "table = {}\n"
+        "def put(x):\n"
+        "    table[id(x)] = x\n"
+        "def walk():\n"
+        "    for k, v in table.items():\n"
+        "        print(k, v)\n"
+    ))
+    assert len(found) == 1
+    assert "id()-keyed" in found[0].message
+    assert found[0].line == 5
+
+
+def test_sorted_iteration_over_id_keyed_dict_ok(tmp_path):
+    found = findings_for(tmp_path, (
+        "table = {}\n"
+        "def put(x):\n"
+        "    table[id(x)] = x\n"
+        "def walk():\n"
+        "    for k in sorted(table):\n"
+        "        print(k)\n"
+    ))
+    assert found == []
+
+
+def test_cli_main_exit_codes(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_determinism.main([str(clean)]) == 0
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    assert lint_determinism.main([str(dirty)]) == 1
+    assert lint_determinism.main([str(tmp_path / "missing.py")]) == 2

@@ -136,6 +136,56 @@ def test_parse_call_forward_reference():
     assert runtime.engine.run_process(runtime.invoke(m)) == 21
 
 
+def test_cfg_flag_on_protected_region_method():
+    """--cfg renders the graph for a method with a handler, and the
+    listing above it still round-trips through parse_cil."""
+    import io
+    from contextlib import redirect_stdout
+
+    from repro.analysis.targets import bundled_assembly
+    from repro.cli.disasm import format_cfg, main
+
+    out = io.StringIO()
+    with redirect_stdout(out):
+        assert main(["webserver", "Work::StartListen", "--cfg"]) == 0
+    text = out.getvalue()
+    assert "cfg Work::StartListen:" in text
+    assert "[handler]" in text
+    assert "(exception)" in text
+    # The listing portion (everything before the cfg block) reparses.
+    listing = text.split("cfg Work::StartListen:")[0]
+    rebuilt = parse_cil(listing)
+    assert rebuilt.handlers, "protected region survived the round trip"
+    original = bundled_assembly("webserver").types["Work"].methods["StartListen"]
+    strip_header = lambda s: s.split("\n", 1)[1]  # noqa: E731 - name differs
+    assert strip_header(format_cfg(rebuilt)) == strip_header(format_cfg(original))
+
+
+def test_cfg_output_matches_format_cfg():
+    from repro.cli.disasm import format_cfg
+
+    method = sum_method()
+    text = format_cfg(method)
+    assert text.startswith("cfg sum_to_n:")
+    assert "-> B" in text
+    # Deterministic across calls.
+    assert text == format_cfg(method)
+
+
+def test_main_unknown_assembly_exits_2(capsys):
+    from repro.cli.disasm import main
+
+    assert main(["no_such_bundle"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_main_unknown_method_exits_2(capsys):
+    from repro.cli.disasm import main
+
+    assert main(["webserver", "No::Such"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
 def test_parse_errors():
     with pytest.raises(CliError, match="\\.method"):
         parse_cil("ldc 1\nret")

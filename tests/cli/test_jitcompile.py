@@ -218,6 +218,64 @@ def test_unverified_method_is_ineligible():
     m = MethodBuilder("m", returns=True).ldc(1).ret().build()
     m.max_stack = None
     assert not native_eligible(m)
+    assert not native_eligible(m, gate="analysis")
+
+
+@pytest.mark.parametrize("operand", [
+    None,                       # missing operand entirely
+    "just-a-string",            # direct-call operands must be tuples
+    ("OneElement",),            # wrong arity
+    ("A::B", "not-an-int", True),   # argc not an int
+    ("A::B", 1, True, "extra"),     # too long
+])
+def test_malformed_call_tuple_is_ineligible_not_an_error(operand):
+    """Junk call operands must make the gate answer False, never raise:
+    ineligible methods fall back to the interpreter tier."""
+    m = MethodDef("junkcall", [
+        Instruction(Op.CALL, operand),
+        Instruction(Op.RET, None),
+    ])
+    m.max_stack = 1  # pretend-verified so only the operand shape gates
+    assert not native_eligible(m)
+    assert not native_eligible(m, gate="analysis")
+    assert native_source(m, None) is None
+
+
+@pytest.mark.parametrize("kind", ["u2", "i2", "r4", "", None, 42])
+def test_unknown_conv_kinds_are_ineligible_not_errors(kind):
+    m = MethodDef("conv", [
+        Instruction(Op.LDC, 1),
+        Instruction(Op.CONV, kind),
+        Instruction(Op.RET, None),
+    ], returns=True)
+    m.max_stack = 1
+    assert not native_eligible(m)
+    assert not native_eligible(m, gate="analysis")
+
+
+def test_non_string_ldstr_is_ineligible_not_an_error():
+    m = MethodDef("badstr", [
+        Instruction(Op.LDSTR, 123),
+        Instruction(Op.POP, None),
+        Instruction(Op.RET, None),
+    ])
+    m.max_stack = 1
+    assert not native_eligible(m)
+    assert not native_eligible(m, gate="analysis")
+
+
+def test_ineligible_method_still_runs_on_interpreter_tier():
+    """The gate declining is silent: execution proceeds interpreted."""
+    m = MethodDef("fallback", [
+        Instruction(Op.LDC, 40),
+        Instruction(Op.CONV, "u2"),  # gate-ineligible conv kind
+        Instruction(Op.RET, None),
+    ], returns=True)
+    verify_method(m)
+    rt = _runtime(True)
+    assert rt.jit.native_for(m, rt.interpreter.params) is None
+    with pytest.raises(ExecutionFault, match="unknown conversion"):
+        _run(rt, m)
 
 
 def test_native_source_is_inspectable():

@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""AST lint: forbid nondeterminism primitives in simulation code.
+
+The simulator's contract is bit-identical replays: simulated time comes
+from the event engine, randomness from seeded streams
+(``repro.rng``).  Wall-clock reads and unseeded randomness silently
+break that contract, so this lint walks the Python AST of
+``src/repro/`` and rejects:
+
+* wall-clock reads — ``time.time`` / ``time_ns`` / ``perf_counter`` /
+  ``perf_counter_ns`` / ``monotonic`` / ``monotonic_ns``, and
+  ``time.strftime`` with no explicit time tuple;
+* ``datetime`` "now" constructors — ``datetime.now`` / ``utcnow`` /
+  ``today`` (with or without the module prefix);
+* bare stdlib randomness — any ``random.*`` module-level call
+  (``random.random()``, ``random.randint(...)``, ...; seed an
+  explicit ``random.Random(seed)`` or use ``repro.rng`` instead),
+  plus ``os.urandom`` and ``uuid.uuid1`` / ``uuid.uuid4``;
+* dict-order-dependent iteration over **id-keyed** maps — a dict that
+  is written through ``d[id(x)] = ...`` and later iterated
+  (``for k in d`` / ``d.items()`` / ``.keys()`` / ``.values()``)
+  without a ``sorted(...)`` wrapper: ``id()`` values vary run to run,
+  so the iteration order does too.
+
+Deliberate wall-clock instrumentation (the bench runner's wall-time
+measurements) is allowlisted per line with a ``# det: allow`` comment;
+every such pragma should say *why* next to it.
+
+Usage::
+
+    python tools/lint_determinism.py [path ...]   # default: src/repro
+
+Exit status: 0 clean, 1 findings, 2 usage/parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+PRAGMA = "det: allow"
+
+#: time.<attr> calls that read the wall clock.
+TIME_BANNED = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+}
+
+#: datetime "current moment" constructors.
+DATETIME_BANNED = {"now", "utcnow", "today"}
+
+#: uuid constructors that embed time/randomness.
+UUID_BANNED = {"uuid1", "uuid4"}
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, message: str) -> None:
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for plain Name/Attribute chains, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: Path, allowed_lines: Set[int]) -> None:
+        self.path = path
+        self.allowed_lines = allowed_lines
+        self.findings: List[Finding] = []
+        #: names of dicts observed being written through an id() key.
+        self.id_keyed: Dict[str, int] = {}
+        #: (name, line) of iterations over those dicts, resolved at the
+        #: end so assignment order inside the file doesn't matter.
+        self.iterations: List[Tuple[str, int]] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        if line in self.allowed_lines:
+            return
+        self.findings.append(Finding(self.path, line, message))
+
+    # -- banned calls ---------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name is not None:
+            base = name.split(".", 1)[0]
+            attr = name.rsplit(".", 1)[-1]
+            if name in {f"time.{a}" for a in TIME_BANNED}:
+                self.report(node, f"wall-clock read {name}() (use the "
+                                  "engine's simulated clock)")
+            elif name == "time.strftime" and len(node.args) < 2:
+                self.report(node, "time.strftime() without an explicit "
+                                  "time tuple reads the wall clock")
+            elif attr in DATETIME_BANNED and base in ("datetime",) and (
+                name in (f"datetime.{attr}", f"datetime.datetime.{attr}",
+                         f"datetime.date.{attr}")
+            ):
+                self.report(node, f"{name}() reads the wall clock")
+            elif (base == "random" and name.count(".") == 1
+                  and attr != "Random"):
+                self.report(node, f"bare {name}() uses the shared unseeded "
+                                  "stdlib RNG (use repro.rng or an explicit "
+                                  "random.Random(seed))")
+            elif name == "os.urandom":
+                self.report(node, "os.urandom() is nondeterministic "
+                                  "(use a seeded stream)")
+            elif base == "uuid" and attr in UUID_BANNED:
+                self.report(node, f"{name}() embeds time/randomness")
+        self.generic_visit(node)
+
+    # -- id-keyed dict iteration ----------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_id_keyed_store(target)
+        self.generic_visit(node)
+
+    def _note_id_keyed_store(self, target: ast.AST) -> None:
+        # d[id(x)] = ...  (possibly via AugAssign/AnnAssign targets too)
+        if (
+            isinstance(target, ast.Subscript)
+            and _is_id_call(target.slice)
+            and isinstance(target.value, ast.Name)
+        ):
+            self.id_keyed.setdefault(target.value.id, target.lineno)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._note_id_keyed_store(node.target)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._note_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._note_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _note_iteration(self, it: ast.AST) -> None:
+        # ``sorted(...)`` anywhere around the iterable makes the order
+        # deterministic; only flag naked iteration.
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id in ("sorted", "len")
+        ):
+            return
+        name: Optional[str] = None
+        if isinstance(it, ast.Name):
+            name = it.id
+        elif (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Attribute)
+            and it.func.attr in ("items", "keys", "values")
+            and isinstance(it.func.value, ast.Name)
+        ):
+            name = it.func.value.id
+        if name is not None:
+            self.iterations.append((name, it.lineno))
+
+    def finish(self) -> None:
+        for name, line in self.iterations:
+            if name in self.id_keyed and line not in self.allowed_lines:
+                self.findings.append(Finding(
+                    self.path, line,
+                    f"iteration over id()-keyed dict {name!r} (keyed at "
+                    f"line {self.id_keyed[name]}) is order-nondeterministic; "
+                    "wrap in sorted() or key by a stable value",
+                ))
+
+
+def lint_file(path: Path) -> List[Finding]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    allowed = {
+        i
+        for i, text in enumerate(source.splitlines(), start=1)
+        if PRAGMA in text
+    }
+    visitor = _Visitor(path, allowed)
+    visitor.visit(tree)
+    visitor.finish()
+    return visitor.findings
+
+
+def lint_paths(paths: List[Path]) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                findings.extend(lint_file(file))
+        else:
+            findings.extend(lint_file(path))
+    findings.sort(key=lambda f: (str(f.path), f.line, f.message))
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Forbid nondeterminism primitives in simulation code."
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    paths = args.paths or [Path(__file__).resolve().parent.parent / "src" / "repro"]
+    for path in paths:
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
