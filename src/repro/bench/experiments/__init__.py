@@ -16,6 +16,7 @@ from repro.bench.experiments.extensions import (
     run_ext_scheduler,
     run_ext_vm,
 )
+from repro.bench.experiments.arch import run_ext_arch
 from repro.bench.experiments.faults import run_ext_degraded, run_ext_faults
 from repro.bench.experiments.scale import run_ext_scale
 
@@ -45,6 +46,7 @@ ALL_EXPERIMENTS = {
     "ext_faults": run_ext_faults,
     "ext_degraded": run_ext_degraded,
     "ext_scale": run_ext_scale,
+    "ext_arch": run_ext_arch,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "run_experiment"] + sorted(

@@ -31,6 +31,7 @@ from repro.sim.engine import Engine
 from repro.sim.resources import Resource, Store, Channel
 from repro.sim.stats import Counter, Tally, TimeWeighted, Histogram
 from repro.sim.probe import NULL_PROBE, NullProbe, Probe, ProbeEntry
+from repro.sim.taskloop import Task, TaskLoop
 from repro.sim.timeline import bucket_counts, render_timeline
 
 __all__ = [
@@ -40,6 +41,8 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Process",
+    "Task",
+    "TaskLoop",
     "Resource",
     "Store",
     "Channel",

@@ -9,10 +9,17 @@ client is written to a file."
 * :mod:`repro.webserver.httpmsg` — request/response text building and
   parsing (the handler "parses the incoming data for request type and
   file name").
-* :mod:`repro.webserver.server` — the server: ``TcpListener`` on port
-  5050, ``AcceptSocket()``, thread-per-connection ``StartListen``
-  written as CIL and executed by the VM (JIT on first request — the
-  Table 6 / Figure 6 warm-up effect).
+* :mod:`repro.webserver.architecture` — the :class:`ServerHost`
+  contract every server concurrency design implements (listener,
+  CIL handler assembly, shedding/deadline semantics, metrics).
+* :mod:`repro.webserver.server` — the paper's architecture:
+  ``TcpListener`` on port 5050, ``AcceptSocket()``,
+  thread-per-connection ``StartListen`` written as CIL and executed
+  by the VM (JIT on first request — the Table 6 / Figure 6 warm-up
+  effect).
+* :mod:`repro.webserver.eventloop` — the alternative architecture: a
+  single-process event-driven server multiplexing every connection
+  on one :class:`~repro.sim.TaskLoop` (the ``ext_arch`` bench axis).
 * :mod:`repro.webserver.handlers` — ``doGet``/``doPost`` class-library
   implementations, timing reads and writes with
   ``QueryPerformanceCounter`` semantics.
@@ -26,8 +33,18 @@ client is written to a file."
 
 from repro.webserver.httpmsg import HttpRequest, HttpResponse, parse_request
 from repro.webserver.metrics import RequestRecord, ServerMetrics
-from repro.webserver.server import WebServer, WebServerConfig
-from repro.webserver.host import WebServerHost, HostConfig
+from repro.webserver.architecture import ServerHost
+from repro.webserver.server import (
+    ThreadPerConnectionServer,
+    WebServer,
+    WebServerConfig,
+)
+from repro.webserver.eventloop import EventLoopServer
+from repro.webserver.host import (
+    SERVER_ARCHITECTURES,
+    WebServerHost,
+    HostConfig,
+)
 from repro.webserver.client import HttpClient
 from repro.webserver.workload import WorkloadConfig, WorkloadGenerator, WorkloadResult
 
@@ -37,6 +54,10 @@ __all__ = [
     "parse_request",
     "RequestRecord",
     "ServerMetrics",
+    "ServerHost",
+    "ThreadPerConnectionServer",
+    "EventLoopServer",
+    "SERVER_ARCHITECTURES",
     "WebServer",
     "WebServerConfig",
     "WebServerHost",

@@ -29,7 +29,7 @@ from repro.webserver.httpmsg import HttpRequest, HttpResponse, parse_request
 from repro.webserver.metrics import RequestRecord, ServerMetrics
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.webserver.server import WebServer
+    from repro.webserver.architecture import ServerHost
 
 __all__ = ["Connection", "RequestHandlers"]
 
@@ -51,7 +51,7 @@ class Connection:
 class RequestHandlers:
     """Implements the ``Http.*`` intrinsics against one server."""
 
-    def __init__(self, server: "WebServer") -> None:
+    def __init__(self, server: "ServerHost") -> None:
         self.server = server
         self.connections: Dict[int, Connection] = {}
 
@@ -209,7 +209,7 @@ class RequestHandlers:
         tracer = self.engine.tracer
         if tracer.enabled:
             tracer.instant("http.aborted", "webserver", tid=conn.conn_id,
-                           reason=reason)
+                           reason=reason, arch=self.server.ARCHITECTURE)
         self.connections.pop(conn.conn_id, None)
 
     def _respond(
@@ -230,7 +230,8 @@ class RequestHandlers:
             if tracer.enabled:
                 tracer.instant("server.deadline_exceeded", "webserver",
                                tid=conn.conn_id,
-                               elapsed=self.engine.now - conn.started_at)
+                               elapsed=self.engine.now - conn.started_at,
+                               arch=self.server.ARCHITECTURE)
             response = HttpResponse(503)
         try:
             yield from conn.socket.send(
@@ -250,6 +251,7 @@ class RequestHandlers:
                 path=request.path if request else "?",
                 status=response.status,
                 data_bytes=response.body_bytes,
+                arch=self.server.ARCHITECTURE,
             )
         self.metrics.record(
             RequestRecord(

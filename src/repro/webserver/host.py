@@ -4,22 +4,35 @@ The benchmarks and examples need the whole stack wired consistently;
 :class:`WebServerHost` owns that wiring and populates the document
 root.  The default file population is the paper's three image files
 (50607, 7501 and 14063 bytes, §4.2).
+
+The server's *concurrency architecture* is a first-class knob:
+``HostConfig.architecture`` selects an entry from
+:data:`SERVER_ARCHITECTURES` — the paper's thread-per-connection
+design (``"thread"``) or the single-process event-driven alternative
+(``"eventloop"``).  Both run the identical CIL handler chain and obey
+the identical protocol-level degradation rules; see
+``docs/webserver.md`` for the comparison and the ``ext_arch``
+experiment that sweeps this knob.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Type
 
 from repro.cli import CliRuntime
 from repro.cli.profiles import get_profile
+from repro.errors import ReproError
 from repro.io import CacheParams, FileSystem, FsParams, Network
 from repro.sim import Engine
 from repro.storage import Disk, DiskGeometry, DiskParams
+from repro.webserver.architecture import ServerHost
 from repro.webserver.client import HttpClient
-from repro.webserver.server import WebServer, WebServerConfig
+from repro.webserver.eventloop import EventLoopServer
+from repro.webserver.server import ThreadPerConnectionServer, WebServerConfig
 
-__all__ = ["HostConfig", "WebServerHost", "PAPER_IMAGE_FILES"]
+__all__ = ["HostConfig", "WebServerHost", "PAPER_IMAGE_FILES",
+           "SERVER_ARCHITECTURES"]
 
 #: §4.2: "The sizes of each file are 50607 bytes, 7501 bytes, and
 #: 14063 bytes." (image files served by the benchmark)
@@ -29,14 +42,55 @@ PAPER_IMAGE_FILES: Dict[str, int] = {
     "/images/photo3.jpg": 14063,
 }
 
+#: Registry of server concurrency architectures, keyed by the name
+#: used in :attr:`HostConfig.architecture`, metrics labels
+#: (``architecture=``) and span attributes (``arch=``).
+SERVER_ARCHITECTURES: Dict[str, Type[ServerHost]] = {
+    ThreadPerConnectionServer.ARCHITECTURE: ThreadPerConnectionServer,
+    EventLoopServer.ARCHITECTURE: EventLoopServer,
+}
+
 
 @dataclass(frozen=True)
 class HostConfig:
     """Hardware/software stack configuration.
 
-    ``vm_profile`` selects the CLI implementation's cost profile (see
-    :mod:`repro.cli.profiles`) — the paper's future-work comparison
-    across virtual machines.
+    Attributes
+    ----------
+    files:
+        Document-root population as ``{url_path: size_bytes}``;
+        defaults to the paper's three image files
+        (:data:`PAPER_IMAGE_FILES`).
+    cache_pages:
+        Page-cache capacity of the server's file system (pages).
+    fs_params, disk_params, disk_geometry:
+        Cost models for the simulated file system and disk (see
+        :mod:`repro.io` and :mod:`repro.storage`).
+    server:
+        The :class:`~repro.webserver.server.WebServerConfig` handed to
+        the server — endpoint, docroot, and the graceful-degradation
+        knobs (``max_concurrency``, ``accept_backlog``,
+        ``request_deadline``).
+    architecture:
+        Which server concurrency design to build — a key of
+        :data:`SERVER_ARCHITECTURES`: ``"thread"`` (the paper's
+        thread-per-connection server, the default) or ``"eventloop"``
+        (single-process event-driven).  The choice changes scheduling
+        and resource footprint only, never protocol behaviour.
+    vm_profile:
+        The CLI implementation's cost profile (see
+        :mod:`repro.cli.profiles`) — the paper's future-work
+        comparison across virtual machines.
+    tracer:
+        Optional :class:`repro.obs.Tracer` shared by the whole stack.
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`; when set, a
+        :class:`~repro.faults.FaultInjector` is armed against the disk
+        and the network, and GET-side file I/O runs under ``retry``.
+    retry:
+        Optional :class:`repro.faults.RetryPolicy` for server-side
+        file reads (defaults apply when ``fault_plan`` is set and this
+        isn't).
     """
 
     files: Dict[str, int] = field(default_factory=lambda: dict(PAPER_IMAGE_FILES))
@@ -45,16 +99,18 @@ class HostConfig:
     disk_params: DiskParams = field(default_factory=DiskParams)
     disk_geometry: DiskGeometry = field(default_factory=DiskGeometry)
     server: WebServerConfig = field(default_factory=WebServerConfig)
+    architecture: str = "thread"
     vm_profile: str = "sscli"
-    #: Optional :class:`repro.obs.Tracer` shared by the whole stack.
     tracer: Optional[object] = None
-    #: Optional :class:`repro.faults.FaultPlan`; when set, a
-    #: :class:`~repro.faults.FaultInjector` is armed against the disk
-    #: and the network, and GET-side file I/O runs under ``retry``.
     fault_plan: Optional[object] = None
-    #: Optional :class:`repro.faults.RetryPolicy` for server-side file
-    #: reads (defaults apply when ``fault_plan`` is set and this isn't).
     retry: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.architecture not in SERVER_ARCHITECTURES:
+            raise ReproError(
+                f"unknown server architecture {self.architecture!r}; "
+                f"expected one of {sorted(SERVER_ARCHITECTURES)}"
+            )
 
 
 class WebServerHost:
@@ -62,7 +118,8 @@ class WebServerHost:
 
     After construction the server is listening; use :meth:`client` and
     drive requests inside simulation processes, or the convenience
-    :meth:`run_request_sequence`.
+    :meth:`run_request_sequence`.  The concrete server type is
+    ``SERVER_ARCHITECTURES[config.architecture]``.
     """
 
     def __init__(self, config: Optional[HostConfig] = None) -> None:
@@ -101,7 +158,8 @@ class WebServerHost:
         self.runtime = CliRuntime(
             self.engine, jit_params=profile.jit, interp_params=profile.interp
         )
-        self.server = WebServer(
+        server_cls = SERVER_ARCHITECTURES[cfg.architecture]
+        self.server = server_cls(
             self.engine, self.runtime, self.fs, self.network, cfg.server,
             retrier=retrier,
         )

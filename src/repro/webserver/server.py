@@ -1,4 +1,4 @@
-"""The multithreaded web server.
+"""The thread-per-connection web server (the paper's design).
 
 Structure follows §4.1 exactly:
 
@@ -11,6 +11,13 @@ Structure follows §4.1 exactly:
 ``StartListen``/``doGet``/``doPost`` are CIL method bodies run by the
 VM, so the first request pays JIT compilation for the whole handler
 chain — the warm-up the paper measures in Table 6 / Figure 6.
+
+Everything that is not the threading decision (protocol handling,
+shedding/deadline semantics, metrics, path mapping) lives in the
+shared :class:`~repro.webserver.architecture.ServerHost` base; the
+event-driven alternative is
+:class:`~repro.webserver.eventloop.EventLoopServer`.  See
+``docs/webserver.md`` for the architecture comparison.
 """
 
 from __future__ import annotations
@@ -18,32 +25,54 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.cli import AssemblyBuilder, CliRuntime, ManagedThread, MethodBuilder
-from repro.errors import ConnectionReset, ReproError
-from repro.io import FileSystem, Network, TcpListener
-from repro.rng import SeededStreams
-from repro.sim import Counter, Engine
-from repro.webserver.handlers import Connection, RequestHandlers
-from repro.webserver.httpmsg import HttpResponse
-from repro.webserver.metrics import ServerMetrics
+from repro.cli import ManagedThread, MethodBuilder
+from repro.errors import ReproError
+from repro.sim import Counter
+from repro.webserver.architecture import ServerHost
+from repro.webserver.handlers import Connection
 
-__all__ = ["WebServerConfig", "WebServer"]
+__all__ = ["WebServerConfig", "ThreadPerConnectionServer", "WebServer",
+           "build_handler_methods"]
 
 
 @dataclass(frozen=True)
 class WebServerConfig:
-    """Server knobs (defaults follow the paper).
+    """Server knobs, shared by every architecture (defaults follow the
+    paper's unbounded single-host setup).
+
+    Attributes
+    ----------
+    host, port:
+        Listening endpoint on the simulated LAN (the paper's
+        ``localhost:5050``).
+    docroot:
+        File-system prefix URL paths map onto (``GET /x`` reads
+        ``{docroot}/x``).
+    upload_dir:
+        Directory POST bodies land in, under random-number file names
+        (the paper's no-synchronization-needed scheme).
+    file_chunk:
+        Read/write granularity (bytes) for the ``doGet``/``doPost``
+        file streaming loops.
+    seed:
+        Root seed for the server's private RNG streams (upload names).
 
     The three graceful-degradation knobs default to off (``None``),
-    preserving the paper's unbounded server:
+    preserving the paper's unbounded server.  Their *protocol-level*
+    behaviour is identical across architectures; only the resource
+    they protect differs:
 
-    * ``max_concurrency`` — cap on simultaneously-live worker threads;
-      beyond it, new connections are *shed* with an immediate 503
-      instead of spawning a worker.
-    * ``accept_backlog`` — bound on the listener's accept queue;
-      overflowing connects are refused (the client sees a reset).
-    * ``request_deadline`` — per-request budget in simulated seconds;
-      a success that misses it is downgraded to 503 at response time.
+    max_concurrency:
+        Cap on simultaneously-served connections (worker threads on
+        the threaded server, loop tasks on the event-driven one);
+        beyond it, new connections are *shed* with an immediate 503
+        instead of being admitted.
+    accept_backlog:
+        Bound on the listener's accept queue; overflowing connects
+        are refused (the client sees a reset).
+    request_deadline:
+        Per-request budget in simulated seconds; a success that
+        misses it is downgraded to 503 at response time.
     """
 
     host: str = "localhost"
@@ -111,82 +140,57 @@ def build_handler_methods():
     return start_listen, do_get, do_post, send_error
 
 
-class WebServer:
-    """One server instance bound to a runtime, file system and network."""
+class ThreadPerConnectionServer(ServerHost):
+    """One managed thread per connection (the paper's §4.1 design).
 
-    def __init__(
-        self,
-        engine: Engine,
-        runtime: CliRuntime,
-        fs: FileSystem,
-        network: Network,
-        config: Optional[WebServerConfig] = None,
-        retrier=None,
-    ) -> None:
-        self.engine = engine
-        self.runtime = runtime
-        self.fs = fs
-        self.network = network
-        self.config = config or WebServerConfig()
-        # Optional repro.faults.Retrier: GET file opens/reads run under
-        # its policy so transient storage faults do not kill workers.
-        self.retrier = retrier
-        self.metrics = ServerMetrics()
-        self.handlers = RequestHandlers(self)
-        self.listener = TcpListener(network, self.config.host, self.config.port,
-                                    backlog_limit=self.config.accept_backlog)
+    The accept loop is its own simulation process; every admitted
+    connection spawns a :class:`~repro.cli.ManagedThread` (paying the
+    CLR thread-start overhead) whose entry point is the CIL
+    ``StartListen`` method.  Memory proxy: ``1 + active_threads``
+    simulated processes.
+    """
+
+    ARCHITECTURE = "thread"
+
+    def __init__(self, engine, runtime, fs, network, config=None,
+                 retrier=None) -> None:
+        super().__init__(engine, runtime, fs, network, config, retrier)
+        #: Worker threads created over the server's lifetime (one per
+        #: admitted connection; kept alongside ``server.connections``
+        #: because threads are this architecture's defining cost).
         self.threads_spawned = Counter("server.threads")
-        self.shed = Counter("server.shed")
-        self.deadline_exceeded = Counter("server.deadline_exceeded")
-        reg = engine.metrics
-        self.metrics.bind(reg, server=self.config.host)
-        for counter in (self.threads_spawned, self.shed,
-                        self.deadline_exceeded):
-            reg.register(counter.name, counter, server=self.config.host)
+        engine.metrics.register(self.threads_spawned.name,
+                                self.threads_spawned,
+                                server=self.config.host,
+                                architecture=self.ARCHITECTURE)
         self._threads: List[ManagedThread] = []
-        self._rng = SeededStreams(self.config.seed).get("post-file-names")
-        self._started = False
 
-        runtime.register_intrinsics(
-            {
-                "Http.ReceiveRequest": self.handlers.receive_request,
-                "Http.DoGet": self.handlers.do_get,
-                "Http.DoPost": self.handlers.do_post,
-                "Http.SendError": self.handlers.send_error,
-            }
-        )
-        start_listen, do_get, do_post, send_error = build_handler_methods()
-        ab = AssemblyBuilder("WebServerApp")
-        for method in (start_listen, do_get, do_post, send_error):
-            ab.add_method("Work", method)
-        self.assembly = ab.build()
-        self._start_listen = start_listen
+    # -- architecture hooks -------------------------------------------------
 
-    # -- lifecycle ----------------------------------------------------------
+    def _begin_accepting(self) -> None:
+        self.engine.process(self._accept_loop(), name="webserver.main",
+                            daemon=True)
 
-    def start(self):
-        """Generator: load the handler assembly and begin accepting.
+    @property
+    def active_threads(self) -> int:
+        """Worker threads still serving a connection."""
+        return sum(1 for t in self._threads if t.is_alive)
 
-        The accept loop is the server's main thread: it blocks on
-        ``AcceptSocket()`` and spawns one managed thread per incoming
-        connection.
-        """
-        if self._started:
-            raise ReproError("server already started")
-        yield from self.runtime.load_assembly(self.assembly)
-        self.listener.start()
-        self.engine.process(self._accept_loop(), name="webserver.main", daemon=True)
-        self._started = True
+    @property
+    def live_workers(self) -> int:
+        return self.active_threads
 
-    def stop(self) -> None:
-        """Stop accepting new connections (in-flight requests finish)."""
-        self.listener.stop()
+    @property
+    def live_processes(self) -> int:
+        """The accept-loop process plus one process per live worker."""
+        return 1 + self.active_threads
+
+    # -- the accept loop ---------------------------------------------------
 
     def _accept_loop(self):
         while True:
             socket = yield from self.listener.accept_socket()
-            limit = self.config.max_concurrency
-            if limit is not None and self.active_threads >= limit:
+            if self._should_shed():
                 # Load shedding: answer 503 from the accept thread
                 # (cheap, no managed worker) so the client backs off
                 # instead of queueing behind saturated workers.
@@ -201,37 +205,9 @@ class WebServer:
             thread.start()
             self._threads.append(thread)
             self.threads_spawned.add()
+            self._note_dispatch()
 
-    def _shed_connection(self, socket):
-        """Generator: turn away one connection with an immediate 503."""
-        self.shed.add()
-        self.metrics.record_failure("shed")
-        tracer = self.engine.tracer
-        if tracer.enabled:
-            tracer.instant("server.shed", "webserver",
-                           active=self.active_threads)
-        response = HttpResponse(503)
-        try:
-            yield from socket.send(response.wire_bytes,
-                                   payload=response.header_text())
-            yield from socket.close()
-        except ConnectionReset:
-            pass  # the client gave up first; the shed is already counted
 
-    # -- path helpers ------------------------------------------------------------
-
-    def resolve_path(self, url_path: str) -> str:
-        """Map a URL path onto the simulated file system."""
-        return self.config.docroot + url_path
-
-    def new_upload_path(self) -> str:
-        """A fresh random-number file name for POST data (the paper's
-        no-synchronization-needed scheme)."""
-        while True:
-            name = f"{self.config.upload_dir}/{int(self._rng.integers(0, 2**31)):010d}.dat"
-            if not self.fs.exists(name):
-                return name
-
-    @property
-    def active_threads(self) -> int:
-        return sum(1 for t in self._threads if t.is_alive)
+#: Historical name: the paper's server was the only one before the
+#: event-driven architecture landed.
+WebServer = ThreadPerConnectionServer

@@ -1,17 +1,39 @@
 """Multi-client workload generation.
 
 "The number of threads increases with the increasing number of
-clients" — this module drives N concurrent closed-loop clients with
-seeded think times and a GET/POST mix, for the scaling studies beyond
-the paper's single-client tables.
+clients" — this module drives concurrent clients with seeded think
+times and a GET/POST mix, for the scaling studies beyond the paper's
+single-client tables.
+
+Two arrival processes are supported:
+
+``"closed"`` (default)
+    N clients in a think/request loop — the paper's model, where load
+    self-limits because each client waits for its response before
+    issuing the next request.
+
+``"open"``
+    Requests arrive by a Poisson process at ``arrival_rate`` per
+    second regardless of how the server is doing, each on a fresh
+    one-shot client.  Open arrivals do not back off, which is what
+    makes overload (and the ``max_concurrency``/``accept_backlog``
+    degradation knobs) observable.
+
+Client-side resilience: with ``retry`` set to a
+:class:`repro.faults.RetryPolicy`, each request runs under a
+:class:`~repro.faults.Retrier` — a reset or refused connection is
+re-issued on a fresh socket under the policy's backoff.  A request
+that still fails after the budget is counted as *aborted* (the
+workload keeps going; one dead request is data, not a crash), and the
+:class:`WorkloadResult` carries the full retry/abort accounting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ConnectionReset, HttpError, ReproError, RetryExhausted
 from repro.rng import SeededStreams
 from repro.sim import Tally
 from repro.units import to_ms
@@ -20,10 +42,40 @@ from repro.webserver.host import WebServerHost
 
 __all__ = ["WorkloadConfig", "WorkloadResult", "WorkloadGenerator"]
 
+#: Exceptions that abort one request without killing the workload.
+_ABORTABLE = (ConnectionReset, RetryExhausted, HttpError)
+
 
 @dataclass(frozen=True)
 class WorkloadConfig:
-    """Closed-loop workload parameters."""
+    """Workload parameters.
+
+    Attributes
+    ----------
+    num_clients:
+        Concurrent clients (closed loop) or a factor of the total
+        request count (open loop).
+    requests_per_client:
+        Requests each client issues; total requests is always
+        ``num_clients * requests_per_client`` in both arrival modes.
+    get_fraction:
+        Probability a request is a GET of a random docroot file; the
+        rest are POSTs.
+    mean_think_time:
+        Mean of the exponential think time between a closed-loop
+        client's requests (seconds; 0 disables thinking).
+    post_size_range:
+        Inclusive ``(lo, hi)`` bounds for POST body sizes (bytes).
+    seed:
+        Root seed for every stream the workload draws from.
+    arrival:
+        ``"closed"`` or ``"open"`` — see the module docstring.
+    arrival_rate:
+        Open loop only: mean arrivals per simulated second.
+    retry:
+        Optional :class:`repro.faults.RetryPolicy`; requests that die
+        on a reset/refused connection are re-issued under it.
+    """
 
     num_clients: int = 4
     requests_per_client: int = 10
@@ -31,6 +83,9 @@ class WorkloadConfig:
     mean_think_time: float = 0.01
     post_size_range: Tuple[int, int] = (1024, 65536)
     seed: int = 0
+    arrival: str = "closed"
+    arrival_rate: float = 200.0
+    retry: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.num_clients < 1:
@@ -44,6 +99,11 @@ class WorkloadConfig:
         lo, hi = self.post_size_range
         if lo < 0 or hi < lo:
             raise ReproError(f"bad post_size_range ({lo}, {hi})")
+        if self.arrival not in ("closed", "open"):
+            raise ReproError(
+                f"arrival must be 'closed' or 'open', got {self.arrival!r}")
+        if self.arrival == "open" and self.arrival_rate <= 0:
+            raise ReproError("arrival_rate must be positive")
 
 
 @dataclass
@@ -53,11 +113,34 @@ class WorkloadResult:
     results: List[ClientResult]
     latencies: Tally
     duration: float
+    #: Managed worker threads the server spawned — the paper's cost
+    #: axis.  0 on the event-loop architecture, which has none.
     threads_spawned: int
+    #: Which server design served the run (``"thread"``/``"eventloop"``).
+    architecture: str = "thread"
+    #: Connections the server admitted into the handler chain.
+    connections_accepted: int = 0
+    #: High-water mark of live simulated server processes (memory proxy).
+    peak_processes: int = 0
+    #: Requests abandoned after exhausting retries (or, with no retry
+    #: policy, on the first reset).
+    aborted: int = 0
+    #: Client re-attempts beyond each request's first try.
+    retries: int = 0
+    #: Requests that failed at least once but eventually got a response.
+    recovered: int = 0
+    #: Per-abort exception type names, for test/bench assertions.
+    abort_reasons: List[str] = field(default_factory=list)
 
     @property
     def count(self) -> int:
+        """Completed requests (aborts excluded)."""
         return len(self.results)
+
+    @property
+    def attempted(self) -> int:
+        """Requests issued, whether or not they completed."""
+        return self.count + self.aborted
 
     @property
     def mean_latency_ms(self) -> float:
@@ -65,7 +148,7 @@ class WorkloadResult:
 
     @property
     def throughput(self) -> float:
-        """Requests per simulated second."""
+        """Completed requests per simulated second."""
         return self.count / self.duration if self.duration > 0 else 0.0
 
     @property
@@ -79,45 +162,104 @@ class WorkloadGenerator:
     def __init__(self, host: WebServerHost, config: Optional[WorkloadConfig] = None) -> None:
         self.host = host
         self.config = config or WorkloadConfig()
+        self._streams = SeededStreams(self.config.seed)
+        self.retrier = None
+        if self.config.retry is not None:
+            from repro.faults import Retrier
+
+            self.retrier = Retrier(
+                host.engine, self.config.retry, name="workload.retry",
+                category="workload",
+                rng=self._streams.get("client-retry-jitter"),
+            )
 
     def run(self) -> WorkloadResult:
         cfg = self.config
         engine = self.host.engine
         paths = sorted(self.host.config.files)
-        streams = SeededStreams(cfg.seed)
         results: List[ClientResult] = []
         latencies = Tally("workload.latency")
+        aborted: List[str] = []
         start = engine.now
 
+        def one_request(client, rng):
+            """Generator: issue one request from the GET/POST mix,
+            recording its outcome (or its abort)."""
+            if float(rng.uniform()) < cfg.get_fraction:
+                path = paths[int(rng.integers(0, len(paths)))]
+                factory = lambda: client.get(path)
+            else:
+                lo, hi = cfg.post_size_range
+                nbytes = int(rng.integers(lo, hi + 1))
+                factory = lambda: client.post("/uploads", nbytes)
+            try:
+                result = yield from factory()
+            except _ABORTABLE as exc:
+                aborted.append(type(exc).__name__)
+                return
+            results.append(result)
+            latencies.record(result.elapsed)
+
         def client_loop(cid: int):
-            rng = streams.get(f"client-{cid}")
-            client = self.host.client()
+            rng = self._streams.get(f"client-{cid}")
+            client = self.host.client(retrier=self.retrier)
             for _ in range(cfg.requests_per_client):
                 think = float(rng.exponential(cfg.mean_think_time)) if cfg.mean_think_time else 0.0
                 if think > 0:
                     yield engine.timeout(think)
-                if float(rng.uniform()) < cfg.get_fraction:
-                    path = paths[int(rng.integers(0, len(paths)))]
-                    result = yield from client.get(path)
-                else:
-                    lo, hi = cfg.post_size_range
-                    nbytes = int(rng.integers(lo, hi + 1))
-                    result = yield from client.post("/uploads", nbytes)
-                results.append(result)
-                latencies.record(result.elapsed)
+                yield from one_request(client, rng)
 
-        procs = [
-            engine.process(client_loop(cid), name=f"client-{cid}")
-            for cid in range(cfg.num_clients)
-        ]
+        if cfg.arrival == "closed":
+            procs = [
+                engine.process(client_loop(cid), name=f"client-{cid}")
+                for cid in range(cfg.num_clients)
+            ]
+        else:
+            procs = self._open_arrivals(one_request)
 
         def waiter():
             yield engine.all_of(procs)
 
         engine.run_process(waiter())
+        server = self.host.server
+        retr = self.retrier
         return WorkloadResult(
             results=results,
             latencies=latencies,
             duration=engine.now - start,
-            threads_spawned=self.host.server.threads_spawned.value,
+            threads_spawned=getattr(
+                getattr(server, "threads_spawned", None), "value", 0),
+            architecture=server.ARCHITECTURE,
+            connections_accepted=server.connections_accepted.value,
+            peak_processes=server.peak_live_processes,
+            aborted=len(aborted),
+            retries=retr.retries.value if retr else 0,
+            recovered=retr.recovered.value if retr else 0,
+            abort_reasons=aborted,
         )
+
+    def _open_arrivals(self, one_request):
+        """Spawn the open-loop dispatcher; returns the single process a
+        waiter must join (the dispatcher joins every request it fired,
+        so joining it means every response has landed or aborted)."""
+        cfg = self.config
+        engine = self.host.engine
+        total = cfg.num_clients * cfg.requests_per_client
+        arrival_rng = self._streams.get("arrivals")
+        mix_rng = self._streams.get("request-mix")
+
+        def fire(rid: int):
+            client = self.host.client(retrier=self.retrier)
+            yield from one_request(client, mix_rng)
+
+        def dispatcher():
+            # Poisson arrivals: exponential inter-arrival gaps, every
+            # request an independent one-shot client that never thinks.
+            fired = []
+            for rid in range(total):
+                yield engine.timeout(
+                    float(arrival_rng.exponential(1.0 / cfg.arrival_rate)))
+                fired.append(engine.process(fire(rid), name=f"req-{rid}"))
+            yield engine.all_of(fired)
+
+        return [engine.process(dispatcher(), name="workload.arrivals")]

@@ -102,3 +102,27 @@ def test_main_module_runs_a_cheap_subset(capsys):
     out = capsys.readouterr().out
     assert "tab4" in out
     assert "Cholesky" in out
+
+
+def test_ext_arch_structure_and_memory_proxy():
+    from repro.bench.experiments.arch import run_ext_arch
+
+    result = run_ext_arch(total_requests=64)
+    assert result.exp_id == "ext_arch"
+    scenarios = result.column("scenario")
+    # 3 concurrency levels x 2 architectures x {clean, faults}.
+    assert len(scenarios) == 12
+    assert "thread-c16" in scenarios and "eventloop-c16-faults" in scenarios
+    rows = dict(zip(scenarios, result.rows))
+    # Memory proxy: threaded grows with concurrency, event loop pinned at 1.
+    peak = dict(zip(scenarios, result.column("peak_processes")))
+    assert peak["thread-c64"] == 65
+    assert peak["eventloop-c64"] == 1
+    assert peak["thread-c4"] < peak["thread-c64"]
+    # Clean rows complete every request with no retries.
+    assert rows["thread-c4"][result.columns.index("retries")] == 0
+    # Faulted rows exercised the client retry path identically.
+    thread_retries = rows["thread-c16-faults"][result.columns.index("retries")]
+    event_retries = rows["eventloop-c16-faults"][result.columns.index("retries")]
+    assert thread_retries > 0
+    assert thread_retries == event_retries

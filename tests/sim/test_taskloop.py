@@ -1,0 +1,178 @@
+"""TaskLoop: many coroutine tasks multiplexed on one process."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine, TaskLoop
+
+
+def test_tasks_run_and_return_results():
+    eng = Engine()
+    loop = TaskLoop(eng)
+    loop.start()
+    done = []
+
+    def job(n):
+        yield eng.timeout(0.1 * n)
+        return n * n
+
+    tasks = [loop.spawn(job(n), label=f"job-{n}") for n in (3, 1, 2)]
+    for t in tasks:
+        t.add_done_callback(lambda t: done.append(t.result))
+    eng.run()
+    assert sorted(done) == [1, 4, 9]
+    assert all(t.done and t.ok for t in tasks)
+    assert tasks[1].result == 1
+    assert loop.live == 0
+    assert loop.tasks_spawned == 3
+    assert loop.peak_live == 3
+
+
+def test_loop_uses_exactly_one_process():
+    eng = Engine()
+    loop = TaskLoop(eng)
+    proc = loop.start()
+
+    def job():
+        yield eng.timeout(1.0)
+
+    for _ in range(100):
+        loop.spawn(job())
+    eng.run()
+    assert loop.peak_live == 100
+    # One driver process carried all 100 tasks.
+    assert proc.is_alive  # daemon: parked, never exits
+
+
+def test_completion_event_bridges_to_processes():
+    eng = Engine()
+    loop = TaskLoop(eng)
+    loop.start()
+
+    def job():
+        yield eng.timeout(2.0)
+        return "answer"
+
+    def waiter():
+        task = loop.spawn(job())
+        value = yield loop.completion_event(task)
+        return (eng.now, value)
+
+    assert eng.run_process(waiter()) == (2.0, "answer")
+
+
+def test_same_timestamp_tasks_finish_in_spawn_order():
+    eng = Engine()
+    loop = TaskLoop(eng)
+    loop.start()
+    order = []
+
+    def job(tag):
+        yield eng.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        loop.spawn(job(tag))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_task_error_routed_to_error_handler():
+    eng = Engine()
+    failed = []
+    loop = TaskLoop(eng, error_handler=lambda t: failed.append(t.label))
+    loop.start()
+
+    def bad():
+        yield eng.timeout(0.5)
+        raise ValueError("boom")
+
+    def good():
+        yield eng.timeout(1.0)
+        return "fine"
+
+    loop.spawn(bad(), label="bad")
+    ok = loop.spawn(good(), label="good")
+    eng.run()
+    assert failed == ["bad"]
+    assert loop.tasks_failed == 1
+    # The loop survives a task failure; other tasks complete.
+    assert ok.done and ok.result == "fine"
+
+
+def test_task_error_without_handler_or_callbacks_raises():
+    eng = Engine()
+    loop = TaskLoop(eng)
+    loop.start()
+
+    def bad():
+        yield eng.timeout(0.5)
+        raise ValueError("boom")
+
+    loop.spawn(bad())
+    with pytest.raises(ValueError, match="boom"):
+        eng.run()
+
+
+def test_completion_event_carries_task_failure():
+    eng = Engine()
+    loop = TaskLoop(eng, error_handler=lambda t: None)
+    loop.start()
+
+    def bad():
+        yield eng.timeout(0.5)
+        raise ValueError("boom")
+
+    def waiter():
+        task = loop.spawn(bad())
+        try:
+            yield loop.completion_event(task)
+        except ValueError as exc:
+            return str(exc)
+        return "no error"
+
+    assert eng.run_process(waiter()) == "boom"
+
+
+def test_non_event_yield_fails_the_task_not_the_loop():
+    eng = Engine()
+    failed = []
+    loop = TaskLoop(eng, error_handler=lambda t: failed.append(t.error))
+    loop.start()
+
+    def wrong():
+        yield 42
+
+    loop.spawn(wrong())
+    eng.run()
+    assert len(failed) == 1
+    assert isinstance(failed[0], SimulationError)
+
+
+def test_double_start_rejected():
+    eng = Engine()
+    loop = TaskLoop(eng)
+    loop.start()
+    with pytest.raises(SimulationError):
+        loop.start()
+
+
+def test_tasks_can_spawn_tasks():
+    eng = Engine()
+    loop = TaskLoop(eng)
+    loop.start()
+    seen = []
+
+    def child(n):
+        yield eng.timeout(0.1)
+        seen.append(n)
+
+    def parent():
+        yield eng.timeout(0.1)
+        for n in range(3):
+            loop.spawn(child(n))
+
+    loop.spawn(parent())
+    eng.run()
+    assert seen == [0, 1, 2]
+    assert loop.tasks_spawned == 4

@@ -42,3 +42,35 @@ def test_lint_ignores_non_python_fences(tmp_path):
     doc = tmp_path / "doc.md"
     doc.write_text("```text\nfrom repro.nowhere import X\n```\n")
     assert check_docs.check_imports(doc, doc.read_text()) == []
+
+
+def test_lint_catches_undocumented_package(tmp_path):
+    src = tmp_path / "src"
+    (src / "repro" / "ghostpkg").mkdir(parents=True)
+    (src / "repro" / "ghostpkg" / "__init__.py").write_text("")
+    (src / "repro" / "covered").mkdir()
+    (src / "repro" / "covered" / "__init__.py").write_text("")
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "covered.md").write_text("all about `repro.covered` here\n")
+    problems = check_docs.check_package_coverage(src, docs)
+    assert len(problems) == 1
+    assert "ghostpkg" in problems[0]
+
+
+def test_package_coverage_ignores_plain_modules(tmp_path):
+    # errors.py / rng.py style top-level modules are not packages and
+    # need no dedicated doc page.
+    src = tmp_path / "src"
+    (src / "repro").mkdir(parents=True)
+    (src / "repro" / "units.py").write_text("")
+    (src / "repro" / "nopkg").mkdir()  # directory without __init__.py
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    assert check_docs.check_package_coverage(src, docs) == []
+
+
+def test_every_repro_package_documented():
+    problems = check_docs.check_package_coverage(
+        check_docs.REPO_ROOT / "src", check_docs.REPO_ROOT / "docs")
+    assert not problems, "\n".join(problems)

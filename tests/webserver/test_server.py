@@ -211,5 +211,8 @@ def test_server_latencies_registered_in_metrics_registry(host):
     assert view.percentile(50) == pytest.approx(
         host.metrics.response_times.percentile(50) * 1e3
     )
-    assert snap["webserver.errors"] == {"type": "gauge", "value": 0,
-                                        "labels": {"server": host.config.server.host}}
+    assert snap["webserver.errors"] == {
+        "type": "gauge", "value": 0,
+        "labels": {"server": host.config.server.host,
+                   "architecture": host.server.ARCHITECTURE},
+    }

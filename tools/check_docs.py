@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs lint: keep the Markdown honest.
 
-Two checks over ``README.md``, ``docs/*.md`` and the other top-level
+Three checks over ``README.md``, ``docs/*.md`` and the other top-level
 Markdown files:
 
 1. **Links** — every relative (intra-repo) Markdown link target must
@@ -11,6 +11,11 @@ Markdown files:
    line inside a fenced ``python`` code block must resolve: the module
    must import and each imported name must exist on it.  Docs that
    mention modules or symbols that were renamed away fail here.
+3. **Package coverage** — every top-level package under ``src/repro``
+   must be referenced (as ``repro.<name>``) from at least one
+   ``docs/*.md`` page, so no subsystem ships undocumented.  (This is
+   the lint that would have caught ``repro.webserver`` having no page
+   for its first twenty PRs.)
 
 Run directly (``python tools/check_docs.py``) or via the test suite
 (``tests/test_docs_lint.py``).  Exit status 0 = clean.
@@ -122,6 +127,37 @@ def check_imports(doc: Path, text: str) -> List[str]:
     return problems
 
 
+def top_level_packages(src_root: Path) -> List[str]:
+    """Top-level package names under ``{src_root}/repro`` (directories
+    containing an ``__init__.py``)."""
+    pkg_root = src_root / "repro"
+    return sorted(
+        p.name for p in pkg_root.iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    )
+
+
+def check_package_coverage(
+    src_root: Path, docs_dir: Path
+) -> List[str]:
+    """Every ``src/repro`` top-level package must appear (as
+    ``repro.<name>``) in at least one ``docs/*.md`` page."""
+    doc_texts = {
+        p.name: p.read_text(encoding="utf-8")
+        for p in sorted(docs_dir.glob("*.md"))
+    }
+    problems = []
+    for pkg in top_level_packages(src_root):
+        needle = f"repro.{pkg}"
+        if not any(needle in text for text in doc_texts.values()):
+            problems.append(
+                f"src/repro/{pkg}: package not referenced from any "
+                f"docs/*.md page (expected {needle!r} somewhere under "
+                f"{docs_dir.name}/)"
+            )
+    return problems
+
+
 def run_checks() -> List[str]:
     """Run every check; returns the list of problems (empty = clean)."""
     src = REPO_ROOT / "src"
@@ -136,6 +172,9 @@ def run_checks() -> List[str]:
         text = doc.read_text(encoding="utf-8")
         problems.extend(check_links(doc, text))
         problems.extend(check_imports(doc, text))
+    problems.extend(
+        check_package_coverage(REPO_ROOT / "src", REPO_ROOT / "docs")
+    )
     return problems
 
 
