@@ -10,10 +10,17 @@
     python -m repro.bench tab1 --trace-jsonl t.jsonl  # JSONL event dump
     python -m repro.bench --baseline-out BENCH_now.json  # gate snapshot
     python -m repro.bench ext_scale --wallclock-append BENCH_wallclock.jsonl
+    python -m repro.bench ext_faults --telemetry-out series.jsonl
 
 Simulated metrics are deterministic, so ``--jobs N`` output is
-byte-identical to a serial run (wall seconds aside).  Tracing forces
-``--jobs 1``: a single Tracer cannot span processes.
+byte-identical to a serial run (wall seconds aside).  Tracing and
+telemetry force ``--jobs 1``: a single collector cannot span
+processes.
+
+``--telemetry-out`` samples each telemetry-aware experiment's metrics
+registry on simulated time into a windowed series file (render it with
+``python -m repro.obs timeline``); sampling never perturbs simulated
+results, and two same-seed runs write byte-identical series.
 
 See docs/observability.md for the trace formats, the baseline schema,
 and the regression gate (``python -m repro.obs gate``);
@@ -75,6 +82,23 @@ def main(argv=None) -> int:
         "informational wall_clock section",
     )
     parser.add_argument(
+        "--telemetry-out",
+        dest="telemetry_out",
+        metavar="PATH",
+        help="sample each experiment's metrics registry on simulated "
+        "time and write the windowed series as deterministic JSONL "
+        "(render with: python -m repro.obs timeline PATH)",
+    )
+    parser.add_argument(
+        "--telemetry-interval-ms",
+        dest="telemetry_interval_ms",
+        type=float,
+        default=100.0,
+        metavar="MS",
+        help="telemetry sampling interval in simulated milliseconds "
+        "(default 100)",
+    )
+    parser.add_argument(
         "--wallclock-append",
         dest="wallclock_append",
         metavar="PATH",
@@ -92,6 +116,21 @@ def main(argv=None) -> int:
             # One Tracer cannot observe engines in other processes.
             print("tracing requested: forcing --jobs 1")
             args.jobs = 1
+
+    telemetry = None
+    if args.telemetry_out:
+        from repro.obs import Telemetry, TelemetryConfig
+
+        telemetry = Telemetry(TelemetryConfig(
+            interval=args.telemetry_interval_ms * 1e-3))
+        if args.jobs != 1:
+            # One hub cannot collect samplers in other processes.
+            print("telemetry requested: forcing --jobs 1")
+            args.jobs = 1
+        if args.profile_dir is not None:
+            print("telemetry is not collected under --profile "
+                  "(profiled runs execute in the worker harness)")
+            telemetry = None
 
     exp_ids = args.experiments or sorted(ALL_EXPERIMENTS)
 
@@ -113,7 +152,8 @@ def main(argv=None) -> int:
                 timed.append((ExperimentResult.from_dict(payload), elapsed))
             else:
                 t0 = time.perf_counter()  # det: allow - wall-time measurement is the point
-                result = run_experiment(exp_id, tracer=tracer)
+                result = run_experiment(exp_id, tracer=tracer,
+                                        telemetry=telemetry)
                 timed.append((result, time.perf_counter() - t0))  # det: allow - wall-time measurement
 
     blocks = []
@@ -156,6 +196,11 @@ def main(argv=None) -> int:
         with open(args.wallclock_append, "a", encoding="utf-8") as fh:
             fh.write(json.dumps(line, sort_keys=True) + "\n")
         print(f"appended wall-clock snapshot to {args.wallclock_append}")
+    if telemetry is not None:
+        n = telemetry.write(args.telemetry_out)
+        print(f"wrote {n} telemetry records to {args.telemetry_out} "
+              f"(render with: python -m repro.obs timeline "
+              f"{args.telemetry_out})")
     if tracer is not None:
         from repro.obs import write_chrome_trace, write_jsonl
 

@@ -23,6 +23,8 @@ and byte-reproducible like the rest of the suite.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.bench.report import ExperimentResult
 from repro.faults import FaultPlan, FaultSpec, RetryPolicy
 from repro.units import to_ms
@@ -35,14 +37,22 @@ __all__ = ["run_ext_arch"]
 _CONCURRENCY = (4, 16, 64)
 
 
-def run_ext_arch(total_requests: int = 256, seed: int = 29) -> ExperimentResult:
-    """Sweep concurrency × architecture × fault condition."""
+def run_ext_arch(total_requests: int = 256, seed: int = 29,
+                 telemetry: Optional[object] = None) -> ExperimentResult:
+    """Sweep concurrency × architecture × fault condition.
+
+    With a ``telemetry`` hub, every scenario's engine is sampled into
+    windowed series labeled ``architecture=`` / ``scenario=`` /
+    ``node=`` — the two architectures' latency and shed trajectories
+    land side by side in one stream.
+    """
     rows = []
     for faulted in (False, True):
         for arch in ("thread", "eventloop"):
             for clients in _CONCURRENCY:
                 rows.append(_run_scenario(
-                    arch, clients, total_requests, seed, faulted))
+                    arch, clients, total_requests, seed, faulted,
+                    telemetry=telemetry))
     notes = [
         "identical seeds per scenario: both architectures serve the "
         "same request mix, so throughput/latency deltas are pure "
@@ -66,7 +76,8 @@ def run_ext_arch(total_requests: int = 256, seed: int = 29) -> ExperimentResult:
 
 
 def _run_scenario(arch: str, clients: int, total_requests: int,
-                  seed: int, faulted: bool):
+                  seed: int, faulted: bool,
+                  telemetry: Optional[object] = None):
     per_client, remainder = divmod(total_requests, clients)
     if remainder:
         raise ValueError(
@@ -80,6 +91,14 @@ def _run_scenario(arch: str, clients: int, total_requests: int,
         ))
         retry = RetryPolicy(max_attempts=6)
     host = WebServerHost(HostConfig(architecture=arch, fault_plan=plan))
+    sampler = None
+    if telemetry is not None:
+        sampler = telemetry.attach(
+            host.engine,
+            architecture=arch,
+            node="server-0",
+            scenario=f"{arch}-c{clients}" + ("-faults" if faulted else ""),
+        )
     outcome = WorkloadGenerator(host, WorkloadConfig(
         num_clients=clients,
         requests_per_client=per_client,
@@ -88,6 +107,8 @@ def _run_scenario(arch: str, clients: int, total_requests: int,
         seed=seed,
         retry=retry,
     )).run()
+    if sampler is not None:
+        sampler.finish()
     if not faulted and outcome.error_count:
         raise AssertionError(
             f"ext_arch clean run {arch}/c{clients} saw "

@@ -9,6 +9,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.bench.report import ExperimentResult
 from repro.faults import FaultPlan, FaultSpec, RetryPolicy
 from repro.sim import Engine
@@ -18,9 +20,77 @@ from repro.units import MiB, to_ms
 
 __all__ = ["run_ext_faults", "run_ext_degraded"]
 
+#: Simulated-time window in which the telemetry showcase scenario arms
+#: its media errors, and the sampling interval that resolves it.  The
+#: dmine replay runs ~0.2 simulated seconds, so [80ms, 140ms) sits
+#: mid-run with clean windows on both sides at 10 ms sampling.
+_TELEMETRY_FAULT_WINDOW = (0.08, 0.14)
+_TELEMETRY_INTERVAL = 0.01
 
-def run_ext_faults(seed: int = 11) -> ExperimentResult:
-    """Faulted trace replay: transient faults vs. retry resilience."""
+
+def _fault_window_rules():
+    """SLO rules for the telemetry fault-window scenario.
+
+    Local import so the experiment stays importable without the
+    telemetry subsystem in play (and costs nothing when unused).
+    """
+    from repro.obs.slo import AlertRule, SloSpec
+
+    return (
+        # Burn-rate alert on the retry channel: every retried read is
+        # budget spend against a 95%-first-attempt-success objective.
+        AlertRule(
+            SloSpec("retry-burn", "error_budget", "retry.retries",
+                    objective=0.95, total_metric="retry.attempts",
+                    burn_threshold=1.0),
+            for_windows=1, clear_windows=2,
+        ),
+        # Windowed availability of the same channel.
+        AlertRule(
+            SloSpec("read-availability", "availability", "retry.retries",
+                    objective=0.5, total_metric="retry.attempts"),
+            for_windows=1, clear_windows=2,
+        ),
+    )
+
+
+def _run_telemetry_fault_window(seed: int, telemetry) -> None:
+    """Extra telemetry-only replay: a windowed fault burst + repair.
+
+    This scenario exists purely for the time axis — its results feed
+    the telemetry stream, never the experiment rows (the committed
+    ``BENCH_seed.json`` statistics must stay byte-identical).  Media
+    errors are armed only inside :data:`_TELEMETRY_FAULT_WINDOW`, so
+    the series shows clean windows, a degraded burst with a firing
+    alert, and recovery after the window closes.
+    """
+    start, end = _TELEMETRY_FAULT_WINDOW
+    header, records = generate_dmine(dataset_size=8 * MiB, passes=1)
+    cfg = ReplayConfig(
+        warmup=False, file_size=32 * MiB,
+        fault_plan=FaultPlan(seed=seed, specs=(
+            FaultSpec(kind="disk.media_error", target="local-disk",
+                      probability=0.6, start=start, end=end),
+        )),
+        retry=RetryPolicy(max_attempts=5),
+        telemetry=telemetry,
+        telemetry_labels=(("scenario", "fault-window"),),
+        telemetry_rules=_fault_window_rules(),
+        telemetry_interval=_TELEMETRY_INTERVAL,
+    )
+    TraceReplayer(cfg).replay(header, records, "faults-fault-window")
+
+
+def run_ext_faults(seed: int = 11,
+                   telemetry: Optional[object] = None) -> ExperimentResult:
+    """Faulted trace replay: transient faults vs. retry resilience.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry` hub) additionally
+    samples every scenario into windowed series and runs one extra
+    telemetry-only scenario with a mid-run fault burst (see
+    :func:`_run_telemetry_fault_window`); the experiment rows are
+    byte-identical either way.
+    """
     scenarios = (
         ("fault-free", None),
         ("media-errors+retry", FaultPlan(seed=seed, specs=(
@@ -39,6 +109,8 @@ def run_ext_faults(seed: int = 11) -> ExperimentResult:
         cfg = ReplayConfig(
             warmup=False, file_size=32 * MiB,
             fault_plan=plan, retry=policy if plan is not None else None,
+            telemetry=telemetry,
+            telemetry_labels=(("scenario", name),),
         )
         result = TraceReplayer(cfg).replay(header, records, f"faults-{name}")
         rows.append(
@@ -58,6 +130,8 @@ def run_ext_faults(seed: int = 11) -> ExperimentResult:
         "a slowed disk injects no errors, so retries stay at zero and "
         "the cost appears purely as elongated service times",
     ]
+    if telemetry is not None:
+        _run_telemetry_fault_window(seed, telemetry)
     return ExperimentResult(
         exp_id="ext_faults",
         title="Extension: trace replay under deterministic fault injection",
@@ -68,8 +142,14 @@ def run_ext_faults(seed: int = 11) -> ExperimentResult:
     )
 
 
-def run_ext_degraded(nreads: int = 120, seed: int = 23) -> ExperimentResult:
-    """Mirrored-array reads: healthy, degraded, and rebuilt."""
+def run_ext_degraded(nreads: int = 120, seed: int = 23,
+                     telemetry: Optional[object] = None) -> ExperimentResult:
+    """Mirrored-array reads: healthy, degraded, and rebuilt.
+
+    With a ``telemetry`` hub, each scenario's engine is sampled into
+    windowed series labeled ``scenario=`` — the degraded-read and
+    failover counters become visible as trajectories.
+    """
     import numpy as np
 
     geo = DiskGeometry(cylinders=2000, heads=2, sectors_per_track=40)
@@ -117,7 +197,12 @@ def run_ext_degraded(nreads: int = 120, seed: int = 23) -> ExperimentResult:
                 return copied
             return 0
 
+        sampler = None
+        if telemetry is not None:
+            sampler = telemetry.attach(engine, scenario=name)
         copied = engine.run_process(workload())
+        if sampler is not None:
+            sampler.finish()
         rows.append(
             (
                 name,

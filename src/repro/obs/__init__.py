@@ -45,18 +45,29 @@ from repro.obs.tracer import (
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.export import (
     read_jsonl,
+    read_series_jsonl,
     to_chrome_trace,
     to_jsonl,
     write_chrome_trace,
     write_jsonl,
+    write_series_jsonl,
 )
 from repro.obs.analysis import PathStep, TraceAnalysis, analyze
+from repro.obs.slo import AlertRule, SloEvaluator, SloSpec
+from repro.obs.timeseries import (
+    Telemetry,
+    TelemetryConfig,
+    TelemetrySampler,
+    metric_layer,
+)
 from repro.obs.report import (
     GateFinding,
+    analysis_to_dict,
     build_baseline,
     gate_compare,
     load_baseline,
     render_gate_report,
+    render_timeline_report,
     render_trace_report,
     write_baseline,
 )
@@ -78,6 +89,17 @@ __all__ = [
     "TraceAnalysis",
     "PathStep",
     "analyze",
+    "SloSpec",
+    "AlertRule",
+    "SloEvaluator",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetrySampler",
+    "metric_layer",
+    "write_series_jsonl",
+    "read_series_jsonl",
+    "analysis_to_dict",
+    "render_timeline_report",
     "render_trace_report",
     "build_baseline",
     "write_baseline",

@@ -1,4 +1,4 @@
-"""Trace exporters: Chrome ``trace_event`` JSON and JSONL.
+"""Trace and telemetry exporters: Chrome ``trace_event`` JSON and JSONL.
 
 Two interchange formats for a recorded :class:`~repro.obs.Tracer`:
 
@@ -12,14 +12,21 @@ Two interchange formats for a recorded :class:`~repro.obs.Tracer`:
   line; trivially greppable, diffable, and loadable with
   :func:`read_jsonl` for programmatic analysis.
 
-See ``docs/observability.md`` for the documented field layout and a
-worked example.
+Plus the *telemetry series* JSONL format
+(:mod:`repro.obs.timeseries`): one record per line with a ``kind``
+discriminator (``telemetry.header`` / ``sample`` / ``alert`` /
+``slo``), written canonically — sorted keys, floats rounded to a fixed
+precision — so two same-seed runs produce **byte-identical** files
+(:func:`write_series_jsonl` / :func:`read_series_jsonl`).
+
+See ``docs/observability.md`` for the documented field layouts and
+worked examples.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Union
+from typing import Any, Dict, IO, Iterable, List, Union
 
 from repro.errors import SimulationError
 from repro.obs.tracer import TraceEvent, Tracer
@@ -30,6 +37,9 @@ __all__ = [
     "to_jsonl",
     "write_jsonl",
     "read_jsonl",
+    "series_lines",
+    "write_series_jsonl",
+    "read_series_jsonl",
 ]
 
 #: Simulated seconds → trace_event microseconds.
@@ -119,6 +129,72 @@ def write_jsonl(path: str, tracer: Tracer) -> int:
         for line in lines:
             fh.write(line + "\n")
     return len(lines)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry series JSONL (repro.obs.timeseries)
+# ---------------------------------------------------------------------------
+
+#: Decimal places kept in emitted series floats: enough for
+#: microsecond-scale simulated times, few enough that float noise
+#: cannot leak into the byte-for-byte determinism contract.
+_SERIES_ROUND = 9
+
+
+def _round_floats(value: Any) -> Any:
+    if isinstance(value, float):
+        return round(value, _SERIES_ROUND)
+    if isinstance(value, dict):
+        return {k: _round_floats(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_round_floats(v) for v in value]
+    return value
+
+
+def series_lines(records: Iterable[Dict[str, Any]]) -> List[str]:
+    """One canonical JSON line per telemetry record (sorted keys,
+    rounded floats) — the byte-reproducibility boundary."""
+    return [
+        json.dumps(_round_floats(record), sort_keys=True)
+        for record in records
+    ]
+
+
+def write_series_jsonl(
+    path_or_fh: Union[str, IO[str]], records: Iterable[Dict[str, Any]]
+) -> int:
+    """Write a telemetry record stream as JSONL; returns line count."""
+    lines = series_lines(records)
+    if hasattr(path_or_fh, "write"):
+        for line in lines:
+            path_or_fh.write(line + "\n")
+    else:
+        with open(path_or_fh, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+    return len(lines)
+
+
+def read_series_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Load a telemetry JSONL stream back into record dicts."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise SimulationError(
+                    f"{path}:{lineno}: malformed series line ({exc})"
+                ) from None
+            if not isinstance(record, dict) or "kind" not in record:
+                raise SimulationError(
+                    f"{path}:{lineno}: series records need a 'kind' field"
+                )
+            records.append(record)
+    return records
 
 
 def read_jsonl(path: str) -> List[TraceEvent]:

@@ -1,0 +1,339 @@
+"""Deterministic SLO tracking and alerting over windowed telemetry.
+
+Service-level objectives here are *declarative* and *simulated-time
+deterministic*: an :class:`SloSpec` names a metric and an objective, an
+:class:`AlertRule` wraps a spec with firing hysteresis, and an
+:class:`SloEvaluator` folds both over the per-window statistics the
+:class:`~repro.obs.timeseries.TelemetrySampler` produces at each sample
+boundary.  Nothing consults the wall clock and nothing is sampled
+probabilistically, so two same-seed runs evaluate to byte-identical
+alert streams.
+
+Three objective kinds are supported:
+
+``latency``
+    A windowed statistic of a tally (default ``p99``) must stay at or
+    under ``objective`` (seconds).  Example: *"p99 read latency under
+    80 ms"*.
+``availability``
+    ``1 - errors/total`` over the window must stay at or above
+    ``objective`` (a fraction).  ``metric`` is the error counter,
+    ``total_metric`` the attempt counter.
+``error_budget``
+    The classic burn-rate alert: the window's error ratio divided by
+    the budget ``1 - objective`` must stay at or under
+    ``burn_threshold``.  A burn rate of 1.0 spends the budget exactly
+    at the rate the objective allows; 14.4 is the canonical
+    "page now" multiplier.
+
+Alert instants and end-of-run SLO summaries are plain dicts shaped for
+the telemetry JSONL stream (see
+:func:`repro.obs.timeseries.write_series_jsonl`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["SloSpec", "AlertRule", "SloEvaluator"]
+
+_KINDS = ("latency", "availability", "error_budget")
+
+#: Window verdicts an SloSpec can return.
+OK, BREACH, NO_DATA = "ok", "breach", "no_data"
+
+
+def _window_delta(stats: Optional[Mapping[str, Any]]) -> Optional[float]:
+    """Per-window increment of a counter-style stats object.
+
+    Counters report ``delta``; tallies report ``count`` — either works
+    as a numerator/denominator for the ratio SLO kinds.
+    """
+    if not stats:
+        return None
+    value = stats.get("delta", stats.get("count"))
+    return None if value is None else float(value)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One declarative service-level objective.
+
+    Parameters
+    ----------
+    name:
+        Unique rule name; appears in every alert and summary record.
+    kind:
+        ``"latency"``, ``"availability"`` or ``"error_budget"``.
+    metric:
+        For ``latency``: the tally metric whose windowed statistic is
+        checked.  For the ratio kinds: the *error* counter metric.
+    objective:
+        ``latency``: max allowed seconds.  ``availability`` /
+        ``error_budget``: target availability fraction in (0, 1).
+    stat:
+        Windowed statistic compared for ``latency`` (default
+        ``"p99"``; any key of the tally window stats works).
+    total_metric:
+        Denominator counter for the ratio kinds (total attempts).
+    burn_threshold:
+        ``error_budget`` only: max allowed burn-rate multiple.
+    """
+
+    name: str
+    kind: str
+    metric: str
+    objective: float
+    stat: str = "p99"
+    total_metric: Optional[str] = None
+    burn_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimulationError("SloSpec needs a non-empty name")
+        if self.kind not in _KINDS:
+            raise SimulationError(
+                f"SloSpec {self.name!r}: unknown kind {self.kind!r} "
+                f"(expected one of {', '.join(_KINDS)})"
+            )
+        if self.kind == "latency":
+            if self.objective <= 0:
+                raise SimulationError(
+                    f"SloSpec {self.name!r}: latency objective must be "
+                    f"> 0 seconds, got {self.objective}"
+                )
+        else:
+            if not 0.0 < self.objective < 1.0:
+                raise SimulationError(
+                    f"SloSpec {self.name!r}: {self.kind} objective must "
+                    f"be a fraction in (0, 1), got {self.objective}"
+                )
+            if not self.total_metric:
+                raise SimulationError(
+                    f"SloSpec {self.name!r}: {self.kind} needs "
+                    "total_metric (the attempts counter)"
+                )
+        if self.burn_threshold <= 0:
+            raise SimulationError(
+                f"SloSpec {self.name!r}: burn_threshold must be > 0, "
+                f"got {self.burn_threshold}"
+            )
+
+    # -- window evaluation --------------------------------------------------
+
+    def evaluate_window(
+        self, window: Mapping[str, Mapping[str, Any]]
+    ) -> Tuple[str, Optional[float], float]:
+        """Verdict for one sample window.
+
+        ``window`` maps metric name → that metric's window stats (the
+        ``stats`` object of a telemetry ``sample`` record).  Returns
+        ``(status, value, threshold)`` where status is ``"ok"``,
+        ``"breach"`` or ``"no_data"`` (metric absent or an empty
+        window — e.g. no requests completed while a disk is wedged).
+        """
+        if self.kind == "latency":
+            stats = window.get(self.metric)
+            if not stats or not stats.get("count"):
+                return NO_DATA, None, self.objective
+            value = stats.get(self.stat)
+            if value is None:
+                return NO_DATA, None, self.objective
+            status = BREACH if value > self.objective else OK
+            return status, float(value), self.objective
+
+        errors = _window_delta(window.get(self.metric))
+        total = _window_delta(window.get(self.total_metric or ""))
+        if total is None or errors is None or total <= 0:
+            return NO_DATA, None, self._ratio_threshold()
+        ratio = errors / total
+        if self.kind == "availability":
+            value = 1.0 - ratio
+            status = BREACH if value < self.objective else OK
+            return status, value, self.objective
+        burn = ratio / (1.0 - self.objective)
+        status = BREACH if burn > self.burn_threshold else OK
+        return status, burn, self.burn_threshold
+
+    def _ratio_threshold(self) -> float:
+        return (self.objective if self.kind == "availability"
+                else self.burn_threshold)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready description (lands in the telemetry header)."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "metric": self.metric,
+            "objective": self.objective,
+        }
+        if self.kind == "latency":
+            out["stat"] = self.stat
+        else:
+            out["total_metric"] = self.total_metric
+        if self.kind == "error_budget":
+            out["burn_threshold"] = self.burn_threshold
+        return out
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """Firing policy around one :class:`SloSpec`.
+
+    ``for_windows`` consecutive breached windows fire the alert;
+    ``clear_windows`` consecutive non-breached windows resolve it —
+    the same hysteresis a Prometheus ``for:`` clause provides, but on
+    deterministic simulated-time windows.  ``no_data`` windows count
+    toward neither streak (a silent window neither pages nor gives the
+    all-clear).
+    """
+
+    slo: SloSpec
+    for_windows: int = 1
+    clear_windows: int = 1
+    severity: str = "warning"
+
+    def __post_init__(self) -> None:
+        if self.for_windows < 1:
+            raise SimulationError(
+                f"AlertRule {self.slo.name!r}: for_windows must be >= 1"
+            )
+        if self.clear_windows < 1:
+            raise SimulationError(
+                f"AlertRule {self.slo.name!r}: clear_windows must be >= 1"
+            )
+
+    @property
+    def name(self) -> str:
+        return self.slo.name
+
+
+@dataclass
+class _RuleState:
+    """Mutable per-rule evaluation state."""
+
+    breach_streak: int = 0
+    ok_streak: int = 0
+    firing: bool = False
+    windows: int = 0
+    breached: int = 0
+    no_data: int = 0
+    fired: int = 0
+    resolved: int = 0
+    worst: Optional[float] = None
+
+
+class SloEvaluator:
+    """Folds :class:`AlertRule` state machines over sample windows.
+
+    One evaluator per sampler; :meth:`evaluate` is called once per
+    sample boundary (in rule declaration order, so the record stream
+    is deterministic) and returns the alert transition records to
+    append to the telemetry stream.  :meth:`summaries` renders the
+    end-of-run per-SLO rollup.
+    """
+
+    def __init__(self, rules: List[AlertRule]) -> None:
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise SimulationError(
+                f"SloEvaluator: duplicate rule names in {names}"
+            )
+        self.rules = list(rules)
+        self._state: Dict[str, _RuleState] = {
+            r.name: _RuleState() for r in rules
+        }
+
+    def evaluate(
+        self,
+        window_index: int,
+        t: float,
+        window: Mapping[str, Mapping[str, Any]],
+    ) -> List[Dict[str, Any]]:
+        """Evaluate every rule against one window's statistics.
+
+        Returns zero or more alert records — a ``firing`` record the
+        window a rule's breach streak reaches ``for_windows``, a
+        ``resolved`` record the window its ok streak reaches
+        ``clear_windows`` while firing.
+        """
+        records: List[Dict[str, Any]] = []
+        for rule in self.rules:
+            state = self._state[rule.name]
+            status, value, threshold = rule.slo.evaluate_window(window)
+            state.windows += 1
+            if status == NO_DATA:
+                state.no_data += 1
+                continue
+            is_worse = self._is_worse(rule.slo, value, state.worst)
+            if is_worse:
+                state.worst = value
+            if status == BREACH:
+                state.breached += 1
+                state.breach_streak += 1
+                state.ok_streak = 0
+                if (not state.firing
+                        and state.breach_streak >= rule.for_windows):
+                    state.firing = True
+                    state.fired += 1
+                    records.append(self._record(
+                        rule, "firing", window_index, t, value, threshold))
+            else:
+                state.ok_streak += 1
+                state.breach_streak = 0
+                if state.firing and state.ok_streak >= rule.clear_windows:
+                    state.firing = False
+                    state.resolved += 1
+                    records.append(self._record(
+                        rule, "resolved", window_index, t, value, threshold))
+        return records
+
+    @staticmethod
+    def _is_worse(slo: SloSpec, value: Optional[float],
+                  worst: Optional[float]) -> bool:
+        if value is None:
+            return False
+        if worst is None:
+            return True
+        # Availability degrades downward; latency and burn rate upward.
+        if slo.kind == "availability":
+            return value < worst
+        return value > worst
+
+    @staticmethod
+    def _record(rule: AlertRule, state: str, window_index: int, t: float,
+                value: Optional[float], threshold: float) -> Dict[str, Any]:
+        return {
+            "kind": "alert",
+            "rule": rule.name,
+            "slo_kind": rule.slo.kind,
+            "state": state,
+            "severity": rule.severity,
+            "window": window_index,
+            "t": t,
+            "value": value,
+            "threshold": threshold,
+        }
+
+    def summaries(self) -> List[Dict[str, Any]]:
+        """One end-of-run ``slo`` record per rule, in rule order."""
+        out: List[Dict[str, Any]] = []
+        for rule in self.rules:
+            state = self._state[rule.name]
+            out.append({
+                "kind": "slo",
+                "rule": rule.name,
+                "slo_kind": rule.slo.kind,
+                "objective": rule.slo.objective,
+                "windows": state.windows,
+                "breached": state.breached,
+                "no_data": state.no_data,
+                "fired": state.fired,
+                "resolved": state.resolved,
+                "worst": state.worst,
+                "final_state": "firing" if state.firing else "ok",
+            })
+        return out

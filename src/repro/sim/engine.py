@@ -44,10 +44,15 @@ class Engine:
         self._seq: int = 0
         # Heap items: (time, seq, kind, payload).  ``kind`` is a payload
         # tag — 1 for an Event whose callbacks should run, 0 for a bare
-        # callable — so the drain loop dispatches on an int compare
-        # instead of isinstance.  seq is unique, so kind never takes
-        # part in heap ordering.
+        # callable, 2 for a *background* callable (see
+        # :meth:`schedule_background`) — so the drain loop dispatches on
+        # an int compare instead of isinstance.  seq is unique, so kind
+        # never takes part in heap ordering.
         self._queue: List[Tuple[float, int, int, Any]] = []
+        # Background entries currently queued; when every remaining
+        # queue entry is background, they are discarded unrun so they
+        # never extend a run past its last foreground event.
+        self._background: int = 0
         self._live_processes: int = 0
         self._running = False
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -123,6 +128,28 @@ class Engine:
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, self._seq, 0, fn))
 
+    def schedule_background(self, fn: Callable[[], None], delay: float = 0.0) -> None:
+        """Schedule ``fn`` as a *background* call ``delay`` seconds from now.
+
+        Background calls run at their timestamp like any queued call,
+        with one difference: when every entry left in the queue is
+        background, the remaining background entries are discarded
+        without running and **without advancing the clock**.  That is
+        the contract telemetry sampling needs — a periodic scraper that
+        reschedules itself forever must neither keep the run alive nor
+        stretch ``engine.now`` past the workload's final event.
+
+        Background callables must not schedule foreground work (events
+        or plain calls); doing so would resurrect a run the workload
+        considers finished.  Scheduling further background calls —
+        the self-rescheduling sampler pattern — is the intended use.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        self._background += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, 2, fn))
+
     # -- main loop ----------------------------------------------------------
 
     def step(self) -> None:
@@ -133,7 +160,7 @@ class Engine:
         if when < self._now:  # pragma: no cover - heap invariant
             raise SimulationError("time went backwards")
         self._now = when
-        if kind:
+        if kind == 1:
             callbacks = payload.callbacks
             payload.callbacks = None  # mark processed
             if callbacks:
@@ -144,6 +171,11 @@ class Engine:
             elif not payload._ok and not isinstance(payload, Process):
                 raise payload.value
         else:
+            # step() is explicit single-stepping: background calls run
+            # unconditionally here (the only-background discard rule
+            # lives in the run() drain loops).
+            if kind == 2:
+                self._background -= 1
             payload()
 
     def run(self, until: Optional[float] = None) -> float:
@@ -169,8 +201,8 @@ class Engine:
             if until is None:
                 while queue:  # unbounded drain: no per-event bound check
                     when, _seq, kind, payload = heappop(queue)
-                    self._now = when
-                    if kind:
+                    if kind == 1:
+                        self._now = when
                         callbacks = payload.callbacks
                         payload.callbacks = None  # mark processed
                         if callbacks:
@@ -178,7 +210,16 @@ class Engine:
                                 cb(payload)
                         elif not payload._ok and not isinstance(payload, Process):
                             raise payload.value
+                    elif kind == 0:
+                        self._now = when
+                        payload()
                     else:
+                        # Background call: discarded (clock untouched)
+                        # when nothing but background work remains.
+                        self._background -= 1
+                        if len(queue) == self._background:
+                            continue
+                        self._now = when
                         payload()
             else:
                 while queue:
@@ -186,8 +227,8 @@ class Engine:
                         self._now = until
                         return self._now
                     when, _seq, kind, payload = heappop(queue)
-                    self._now = when
-                    if kind:
+                    if kind == 1:
+                        self._now = when
                         callbacks = payload.callbacks
                         payload.callbacks = None  # mark processed
                         if callbacks:
@@ -195,7 +236,14 @@ class Engine:
                                 cb(payload)
                         elif not payload._ok and not isinstance(payload, Process):
                             raise payload.value
+                    elif kind == 0:
+                        self._now = when
+                        payload()
                     else:
+                        self._background -= 1
+                        if len(queue) == self._background:
+                            continue
+                        self._now = when
                         payload()
             if self._live_processes > 0:
                 raise DeadlockError(

@@ -90,6 +90,22 @@ class Tally:
         """The raw observations (copy — safe to mutate)."""
         return list(self._values)
 
+    def values_since(self, index: int) -> List[float]:
+        """Observations recorded at or after position ``index``.
+
+        The windowed-telemetry access pattern: a sampler remembers the
+        count at the last scrape and asks for everything newer.  A
+        negative ``index`` is rejected (it would silently alias
+        Python's from-the-end slicing); an ``index`` beyond the current
+        count returns the empty list.
+        """
+        if index < 0:
+            raise SimulationError(
+                f"Tally {self.name!r}: values_since index must be >= 0, "
+                f"got {index}"
+            )
+        return self._values[index:]
+
     def as_array(self) -> np.ndarray:
         return np.asarray(self._values, dtype=np.float64)
 
@@ -176,6 +192,24 @@ class TimeWeighted:
         area = self._area + self._last_value * (end - self._last_time)
         return area / span
 
+    def integral(self, until: Optional[float] = None) -> float:
+        """Area under the signal from creation to ``until`` (default:
+        now).
+
+        Differences of successive integrals give exact window means —
+        ``(I(t1) - I(t0)) / (t1 - t0)`` — which is how windowed
+        telemetry reports a per-window utilization without replaying
+        the signal.  ``until`` must not precede the last recorded
+        change (the signal's past is already folded into ``_area``).
+        """
+        end = self.engine.now if until is None else until
+        if end < self._last_time:
+            raise SimulationError(
+                "TimeWeighted.integral: until precedes the last recorded "
+                f"change ({end} < {self._last_time})"
+            )
+        return self._area + self._last_value * (end - self._last_time)
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"<TimeWeighted current={self._last_value:g} mean={self.mean():.4g}>"
 
@@ -222,6 +256,38 @@ class Histogram:
         if self.counts.sum() == 0:
             raise SimulationError(f"Histogram {self.name!r}: empty")
         return int(np.argmax(self.counts))
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """New histogram holding this one's mass plus ``other``'s.
+
+        Both inputs must share the exact same binning (``low``,
+        ``high``, ``bins``); anything else raises
+        :class:`~repro.errors.SimulationError`.  Because bin counts are
+        additive, the merge of two windows' histograms reports the
+        same percentiles as one histogram fed the concatenated samples
+        — the property windowed telemetry relies on when it rolls
+        per-window distributions up into longer spans
+        (``tests/sim/test_stats.py`` pins it for the bundled
+        quantiles).
+        """
+        if not isinstance(other, Histogram):
+            raise SimulationError(
+                f"Histogram {self.name!r}: cannot merge with "
+                f"{type(other).__name__}"
+            )
+        if (self.low, self.high, self.bins) != (other.low, other.high, other.bins):
+            raise SimulationError(
+                f"Histogram {self.name!r}: merge needs identical binning, "
+                f"got [{self.low:g},{self.high:g})x{self.bins} vs "
+                f"[{other.low:g},{other.high:g})x{other.bins}"
+            )
+        out = Histogram(self.low, self.high, self.bins,
+                        name=f"{self.name}+{other.name}")
+        out.counts = self.counts + other.counts
+        out.underflow = self.underflow + other.underflow
+        out.overflow = self.overflow + other.overflow
+        out._n = self._n + other._n
+        return out
 
     def percentile(self, q: float) -> float:
         """Percentile estimated from the binned counts, ``q`` in [0, 100].

@@ -68,6 +68,15 @@ class ReplayConfig:
     ``retry`` (a :class:`repro.faults.RetryPolicy`) so reads/writes
     ride out transient faults — the counts land in
     ``ReplayResult.faults_injected`` / ``ReplayResult.retries``.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry` hub) attaches a
+    windowed-metrics sampler to the replay engine for the run's
+    duration; ``telemetry_labels`` are stamped on its records, and
+    ``telemetry_rules`` / ``telemetry_interval`` override the hub's
+    SLO rules and sampling interval for this replay.  Sampling rides
+    the engine's background-call channel, so it never perturbs the
+    replayed timeline (``ReplayResult`` is byte-identical with or
+    without it).
     """
 
     file_size: int = 1 * GiB
@@ -89,6 +98,12 @@ class ReplayConfig:
     # run under; None disables either side.
     fault_plan: Optional[object] = None
     retry: Optional[object] = None
+    # Telemetry hub (repro.obs.Telemetry) and per-replay attachment
+    # overrides; None disables sampling.
+    telemetry: Optional[object] = None
+    telemetry_labels: Tuple[Tuple[str, object], ...] = ()
+    telemetry_rules: Optional[Tuple[object, ...]] = None
+    telemetry_interval: Optional[float] = None
     fs_params: FsParams = field(default_factory=FsParams)
     disk_params: DiskParams = field(default_factory=DiskParams)
     disk_geometry: DiskGeometry = field(default_factory=DiskGeometry)
@@ -437,7 +452,17 @@ class TraceReplayer:
             yield from run_all_streams()
             return engine.now - t0
 
+        sampler = None
+        if cfg.telemetry is not None:
+            sampler = cfg.telemetry.attach(
+                engine,
+                rules=cfg.telemetry_rules,
+                interval=cfg.telemetry_interval,
+                **dict(cfg.telemetry_labels),
+            )
         total = engine.run_process(main())
+        if sampler is not None:
+            sampler.finish()
         session.per_record.sort(key=lambda rt: rt.index)
         return ReplayResult(
             application=application,

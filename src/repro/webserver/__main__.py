@@ -2,6 +2,12 @@
 
     python -m repro.webserver --clients 8 --requests 20
     python -m repro.webserver --profile commercial --get-fraction 0.5
+    python -m repro.webserver --architecture eventloop \
+        --telemetry-out series.jsonl
+
+``--telemetry-out`` samples the server's metrics registry on simulated
+time into a windowed series file (render with ``python -m repro.obs
+timeline``); sampling never changes the simulated results.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from repro.webserver import (
     WorkloadConfig,
     WorkloadGenerator,
 )
+from repro.webserver.host import SERVER_ARCHITECTURES
 
 
 def main(argv=None) -> int:
@@ -27,10 +34,34 @@ def main(argv=None) -> int:
                         help="mean client think time (ms)")
     parser.add_argument("--profile", choices=sorted(VM_PROFILES),
                         default="sscli", help="CLI VM cost profile")
+    parser.add_argument("--architecture",
+                        choices=sorted(SERVER_ARCHITECTURES),
+                        default="thread",
+                        help="server concurrency architecture "
+                        "(default thread)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--telemetry-out", dest="telemetry_out",
+                        metavar="PATH",
+                        help="write windowed metric series sampled on "
+                        "simulated time as deterministic JSONL")
+    parser.add_argument("--telemetry-interval-ms",
+                        dest="telemetry_interval_ms",
+                        type=float, default=100.0, metavar="MS",
+                        help="telemetry sampling interval in simulated "
+                        "milliseconds (default 100)")
     args = parser.parse_args(argv)
 
-    host = WebServerHost(HostConfig(vm_profile=args.profile))
+    host = WebServerHost(HostConfig(vm_profile=args.profile,
+                                    architecture=args.architecture))
+    telemetry = None
+    sampler = None
+    if args.telemetry_out:
+        from repro.obs import Telemetry, TelemetryConfig
+
+        telemetry = Telemetry(TelemetryConfig(
+            interval=args.telemetry_interval_ms * 1e-3))
+        sampler = telemetry.attach(
+            host.engine, architecture=args.architecture, node="server-0")
     result = WorkloadGenerator(
         host,
         WorkloadConfig(
@@ -41,6 +72,8 @@ def main(argv=None) -> int:
             seed=args.seed,
         ),
     ).run()
+    if sampler is not None:
+        sampler.finish()
 
     print(f"vm profile      : {args.profile}")
     print(f"clients         : {args.clients} x {args.requests} requests")
@@ -57,6 +90,9 @@ def main(argv=None) -> int:
     writes = host.metrics.write_times
     if writes.count:
         print(f"server write mean: {writes.mean * 1e3:.4f} ms over {writes.count} POSTs")
+    if telemetry is not None:
+        n = telemetry.write(args.telemetry_out)
+        print(f"telemetry       : {n} records -> {args.telemetry_out}")
     return 0
 
 

@@ -1,0 +1,190 @@
+"""SLO specs, alert hysteresis, and the window-fold evaluator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.slo import AlertRule, SloEvaluator, SloSpec
+
+
+def _latency(objective=0.010, stat="p99", **kw):
+    return SloSpec("lat", "latency", "disk.latency",
+                   objective=objective, stat=stat, **kw)
+
+
+def _availability(objective=0.99):
+    return SloSpec("avail", "availability", "retry.retries",
+                   objective=objective, total_metric="retry.attempts")
+
+
+def _burn(objective=0.99, burn_threshold=1.0):
+    return SloSpec("burn", "error_budget", "retry.retries",
+                   objective=objective, total_metric="retry.attempts",
+                   burn_threshold=burn_threshold)
+
+
+# -- spec validation ---------------------------------------------------------
+
+def test_spec_validation():
+    with pytest.raises(SimulationError):
+        SloSpec("", "latency", "m", objective=1.0)
+    with pytest.raises(SimulationError):
+        SloSpec("x", "throughput", "m", objective=1.0)  # unknown kind
+    with pytest.raises(SimulationError):
+        _latency(objective=0.0)
+    with pytest.raises(SimulationError):
+        SloSpec("x", "availability", "errs", objective=1.5,
+                total_metric="total")  # fraction out of range
+    with pytest.raises(SimulationError):
+        SloSpec("x", "availability", "errs", objective=0.99)  # no total
+    with pytest.raises(SimulationError):
+        _burn(burn_threshold=0.0)
+
+
+def test_alert_rule_validation():
+    with pytest.raises(SimulationError):
+        AlertRule(_latency(), for_windows=0)
+    with pytest.raises(SimulationError):
+        AlertRule(_latency(), clear_windows=0)
+    with pytest.raises(SimulationError):
+        SloEvaluator([AlertRule(_latency()), AlertRule(_latency())])
+
+
+# -- window verdicts ---------------------------------------------------------
+
+def test_latency_window_verdicts():
+    spec = _latency(objective=0.010)
+    ok = {"disk.latency": {"count": 3, "p99": 0.008}}
+    breach = {"disk.latency": {"count": 3, "p99": 0.020}}
+    assert spec.evaluate_window(ok) == ("ok", 0.008, 0.010)
+    assert spec.evaluate_window(breach) == ("breach", 0.020, 0.010)
+    # Missing metric, empty window, or missing stat → no data.
+    assert spec.evaluate_window({})[0] == "no_data"
+    assert spec.evaluate_window(
+        {"disk.latency": {"count": 0, "p99": None}})[0] == "no_data"
+
+
+def test_latency_uses_configured_stat():
+    spec = _latency(objective=0.010, stat="max")
+    window = {"disk.latency": {"count": 1, "p99": 0.002, "max": 0.050}}
+    assert spec.evaluate_window(window) == ("breach", 0.050, 0.010)
+
+
+def test_availability_window_verdicts():
+    spec = _availability(objective=0.90)
+    window = {"retry.retries": {"delta": 1},
+              "retry.attempts": {"delta": 20}}
+    status, value, threshold = spec.evaluate_window(window)
+    assert (status, threshold) == ("ok", 0.90)
+    assert value == pytest.approx(0.95)
+    window["retry.retries"]["delta"] = 5
+    status, value, _ = spec.evaluate_window(window)
+    assert status == "breach"
+    assert value == pytest.approx(0.75)
+    # Zero attempts in the window is silence, not a breach.
+    idle = {"retry.retries": {"delta": 0}, "retry.attempts": {"delta": 0}}
+    assert spec.evaluate_window(idle)[0] == "no_data"
+
+
+def test_error_budget_burn_rate():
+    spec = _burn(objective=0.99, burn_threshold=2.0)
+    # 1% errors against a 1% budget burns at exactly 1.0.
+    window = {"retry.retries": {"delta": 1},
+              "retry.attempts": {"delta": 100}}
+    status, value, threshold = spec.evaluate_window(window)
+    assert (status, threshold) == ("ok", 2.0)
+    assert value == pytest.approx(1.0)
+    # 4% errors burns at 4x: over the 2.0 threshold.
+    window["retry.retries"]["delta"] = 4
+    status, value, _ = spec.evaluate_window(window)
+    assert status == "breach"
+    assert value == pytest.approx(4.0)
+
+
+def test_ratio_kinds_accept_tally_count_as_delta():
+    spec = _availability(objective=0.90)
+    window = {"retry.retries": {"count": 0},
+              "retry.attempts": {"count": 10}}
+    assert spec.evaluate_window(window)[0] == "ok"
+
+
+def test_describe_shapes_by_kind():
+    assert _latency().describe() == {
+        "name": "lat", "kind": "latency", "metric": "disk.latency",
+        "objective": 0.010, "stat": "p99"}
+    assert _burn().describe()["burn_threshold"] == 1.0
+    assert _availability().describe()["total_metric"] == "retry.attempts"
+
+
+# -- evaluator state machine -------------------------------------------------
+
+def _window(p99):
+    if p99 is None:
+        return {}
+    return {"disk.latency": {"count": 1, "p99": p99}}
+
+
+def _fold(rule, p99s):
+    evaluator = SloEvaluator([rule])
+    transitions = []
+    for i, p99 in enumerate(p99s):
+        for record in evaluator.evaluate(i, float(i), _window(p99)):
+            transitions.append((record["state"], record["window"]))
+    return evaluator, transitions
+
+
+def test_for_windows_hysteresis_delays_firing():
+    rule = AlertRule(_latency(objective=0.010), for_windows=3)
+    # Two-window breach: never fires.
+    _, transitions = _fold(rule, [0.02, 0.02, 0.001, 0.02, 0.02])
+    assert transitions == []
+    # Three consecutive breaches fire on the third.
+    _, transitions = _fold(rule, [0.001, 0.02, 0.02, 0.02])
+    assert transitions == [("firing", 3)]
+
+
+def test_clear_windows_hysteresis_delays_resolution():
+    rule = AlertRule(_latency(objective=0.010), clear_windows=2)
+    _, transitions = _fold(
+        rule, [0.02, 0.001, 0.02, 0.001, 0.001])
+    # One ok window does not resolve; the second consecutive one does —
+    # and the breach at w2 happens while still firing (no re-fire).
+    assert transitions == [("firing", 0), ("resolved", 4)]
+
+
+def test_no_data_windows_freeze_both_streaks():
+    rule = AlertRule(_latency(objective=0.010), for_windows=2,
+                     clear_windows=2)
+    _, transitions = _fold(
+        rule, [0.02, None, 0.02, 0.001, None, 0.001])
+    # Silence neither breaks the breach streak nor counts as ok.
+    assert transitions == [("firing", 2), ("resolved", 5)]
+
+
+def test_summaries_roll_up_counts_and_worst():
+    rule = AlertRule(_latency(objective=0.010))
+    evaluator, _ = _fold(rule, [0.001, 0.05, 0.02, None, 0.001])
+    (summary,) = evaluator.summaries()
+    assert summary["kind"] == "slo"
+    assert summary["windows"] == 5
+    assert summary["breached"] == 2
+    assert summary["no_data"] == 1
+    assert summary["fired"] == summary["resolved"] == 1
+    assert summary["worst"] == pytest.approx(0.05)
+    assert summary["final_state"] == "ok"
+
+
+def test_summary_reports_still_firing():
+    rule = AlertRule(_latency(objective=0.010))
+    evaluator, transitions = _fold(rule, [0.02, 0.02])
+    assert transitions == [("firing", 0)]
+    assert evaluator.summaries()[0]["final_state"] == "firing"
+
+
+def test_availability_worst_tracks_the_minimum():
+    rule = AlertRule(_availability(objective=0.90))
+    evaluator = SloEvaluator([rule])
+    for i, (errs, total) in enumerate([(1, 10), (5, 10), (0, 10)]):
+        evaluator.evaluate(i, float(i), {
+            "retry.retries": {"delta": errs},
+            "retry.attempts": {"delta": total}})
+    assert evaluator.summaries()[0]["worst"] == pytest.approx(0.5)

@@ -303,3 +303,101 @@ def test_timeout_carries_value():
     eng.process(proc())
     eng.run()
     assert got == ["payload"]
+
+
+# -- background scheduling (telemetry sampler contract) ----------------------
+
+
+def test_background_call_runs_before_foreground_work_ends():
+    eng = Engine()
+    ticks = []
+
+    def tick():
+        ticks.append(eng.now)
+        eng.schedule_background(tick, 1.0)
+
+    def proc():
+        yield eng.timeout(3.5)
+
+    eng.schedule_background(tick, 1.0)
+    eng.process(proc())
+    assert eng.run() == 3.5
+    # Ticks at 1, 2, 3 ran (before the workload's final event); the
+    # tick at 4 was discarded without advancing the clock.
+    assert ticks == [1.0, 2.0, 3.0]
+    assert eng.now == 3.5
+
+
+def test_background_never_extends_a_run():
+    plain = Engine()
+    plain.process((plain.timeout(0.7) for _ in range(1)))
+
+    def _wait(e):
+        yield e.timeout(0.7)
+
+    a, b = Engine(), Engine()
+    a.process(_wait(a))
+    b.process(_wait(b))
+    b.schedule_background(lambda: None, 0.25)
+    assert a.run() == b.run() == 0.7
+
+
+def test_background_only_queue_drains_without_running():
+    eng = Engine()
+    ran = []
+    eng.schedule_background(lambda: ran.append(1), 5.0)
+    assert eng.run() == 0.0
+    assert ran == []
+    assert eng.now == 0.0
+
+
+def test_two_background_chains_do_not_keep_each_other_alive():
+    eng = Engine()
+    counts = {"a": 0, "b": 0}
+
+    def make(key):
+        def tick():
+            counts[key] += 1
+            eng.schedule_background(tick, 1.0)
+        return tick
+
+    eng.schedule_background(make("a"), 1.0)
+    eng.schedule_background(make("b"), 1.0)
+
+    def proc():
+        yield eng.timeout(2.5)
+
+    eng.process(proc())
+    assert eng.run() == 2.5
+    assert counts == {"a": 2, "b": 2}
+
+
+def test_background_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule_background(lambda: None, -0.1)
+
+
+def test_background_respects_until_bound():
+    eng = Engine()
+    ticks = []
+
+    def tick():
+        ticks.append(eng.now)
+        eng.schedule_background(tick, 1.0)
+
+    def proc():
+        for _ in range(6):
+            yield eng.timeout(1.0)
+
+    eng.schedule_background(tick, 1.0)
+    eng.process(proc())
+    eng.run(until=2.25)
+    assert eng.now == 2.25
+    assert ticks == [1.0, 2.0]
+    # Resuming past the bound keeps sampling alongside the workload;
+    # the tick at 6.0 still runs (same timestamp as the final event),
+    # and only the tick at 7.0 is discarded.
+    eng.run()
+    assert eng.now == 6.0
+    assert ticks == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]

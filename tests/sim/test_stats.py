@@ -143,3 +143,109 @@ def test_histogram_percentile_with_under_and_overflow():
     assert h.percentile(0) == 0.0
     assert h.percentile(100) == 10.0
     assert 5.0 <= h.percentile(50) <= 6.0
+
+
+# -- windowed-telemetry contracts -------------------------------------------
+
+def test_tally_values_since():
+    t = Tally()
+    t.extend([1.0, 2.0, 3.0])
+    assert t.values_since(0) == [1.0, 2.0, 3.0]
+    cursor = t.count
+    assert t.values_since(cursor) == []
+    t.extend([4.0, 5.0])
+    assert t.values_since(cursor) == [4.0, 5.0]
+    assert t.values_since(t.count) == []
+
+
+def test_tally_values_since_negative_index_raises():
+    t = Tally()
+    t.record(1.0)
+    with pytest.raises(SimulationError):
+        t.values_since(-1)
+
+
+def test_tally_values_since_returns_copy():
+    t = Tally()
+    t.extend([1.0, 2.0])
+    window = t.values_since(0)
+    window.append(99.0)
+    assert t.count == 2
+
+
+def test_histogram_merge_equals_concatenated_samples():
+    """Merging two windows' histograms must answer quantile queries
+    exactly as one histogram over the concatenated samples would —
+    the property that makes per-window p50/p90/p99 composable."""
+    first = [0.5, 1.2, 2.7, 3.3, 3.4]
+    second = [0.1, 4.8, 4.9, 7.5, 9.1, 9.6]
+    a = Histogram(0.0, 10.0, bins=20, name="w0")
+    b = Histogram(0.0, 10.0, bins=20, name="w1")
+    both = Histogram(0.0, 10.0, bins=20)
+    for v in first:
+        a.record(v)
+        both.record(v)
+    for v in second:
+        b.record(v)
+        both.record(v)
+    merged = a.merge(b)
+    assert merged.count == both.count == len(first) + len(second)
+    assert list(merged.counts) == list(both.counts)
+    for q in (50, 90, 99):
+        assert merged.percentile(q) == pytest.approx(both.percentile(q))
+    assert merged.name == "w0+w1"
+    # Merge does not mutate its operands.
+    assert a.count == len(first) and b.count == len(second)
+
+
+def test_histogram_merge_combines_under_and_overflow():
+    a = Histogram(0.0, 1.0, bins=4)
+    b = Histogram(0.0, 1.0, bins=4)
+    a.record(-1.0)
+    b.record(2.0)
+    b.record(3.0)
+    merged = a.merge(b)
+    assert merged.underflow == 1
+    assert merged.overflow == 2
+    assert merged.count == 3
+
+
+def test_histogram_merge_rejects_mismatched_geometry():
+    base = Histogram(0.0, 10.0, bins=10)
+    for other in (Histogram(0.0, 10.0, bins=20),
+                  Histogram(0.0, 5.0, bins=10),
+                  Histogram(1.0, 10.0, bins=10)):
+        with pytest.raises(SimulationError):
+            base.merge(other)
+
+
+def test_time_weighted_integral():
+    eng = Engine()
+    tw = TimeWeighted(eng, initial=2.0)
+
+    def proc():
+        yield eng.timeout(3.0)
+        tw.record(4.0)
+        yield eng.timeout(2.0)
+
+    eng.process(proc())
+    eng.run()
+    # 2.0 for 3s, then 4.0 for 2s.
+    assert tw.integral() == pytest.approx(14.0)
+    assert tw.integral(4.0) == pytest.approx(10.0)  # one second into 4.0
+    # Window mean from integral differences: [3, 5] averages 4.0.
+    assert (tw.integral(5.0) - tw.integral(3.0)) / 2.0 == pytest.approx(4.0)
+
+
+def test_time_weighted_integral_before_last_change_raises():
+    eng = Engine()
+    tw = TimeWeighted(eng, initial=0.0)
+
+    def proc():
+        yield eng.timeout(2.0)
+        tw.record(1.0)
+
+    eng.process(proc())
+    eng.run()
+    with pytest.raises(SimulationError):
+        tw.integral(1.0)
