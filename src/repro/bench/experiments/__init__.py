@@ -17,6 +17,7 @@ from repro.bench.experiments.extensions import (
     run_ext_vm,
 )
 from repro.bench.experiments.arch import run_ext_arch
+from repro.bench.experiments.cluster import run_ext_cluster
 from repro.bench.experiments.faults import run_ext_degraded, run_ext_faults
 from repro.bench.experiments.scale import run_ext_scale
 
@@ -47,6 +48,7 @@ ALL_EXPERIMENTS = {
     "ext_degraded": run_ext_degraded,
     "ext_scale": run_ext_scale,
     "ext_arch": run_ext_arch,
+    "ext_cluster": run_ext_cluster,
 }
 
 __all__ = ["ALL_EXPERIMENTS", "run_experiment"] + sorted(

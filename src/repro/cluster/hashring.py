@@ -1,0 +1,90 @@
+"""Consistent-hash ring: the cluster's shard map.
+
+Keys and nodes hash onto one 32-bit circle; a key belongs to the first
+``virtual_nodes`` point clockwise from its hash, and its R-way replica
+set is the next R *distinct* physical nodes clockwise.  Virtual nodes
+smooth the load split, and consistency means membership changes move
+only the keys adjacent to the changed node — the property that keeps
+re-replication traffic proportional to the failed node's share.
+
+Hashing is CRC32 (:func:`stable_hash`): stable across processes and
+Python versions, so the shard map — like everything else in the stack
+— is a pure function of configuration.  Placement is *static*: the
+ring answers "which nodes own this key", and the
+:class:`~repro.cluster.balancer.LoadBalancer` separately answers
+"which of those owners are healthy right now".
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import List, Sequence, Tuple
+
+from repro.errors import ClusterError
+
+__all__ = ["stable_hash", "HashRing"]
+
+
+def stable_hash(text: str) -> int:
+    """Deterministic 32-bit hash (CRC32) of ``text``."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class HashRing:
+    """Immutable consistent-hash ring over a fixed node set."""
+
+    def __init__(self, nodes: Sequence[str], virtual_nodes: int = 64) -> None:
+        names = list(nodes)
+        if not names:
+            raise ClusterError("ring needs at least one node")
+        if len(set(names)) != len(names):
+            raise ClusterError(f"duplicate node names: {sorted(names)}")
+        if virtual_nodes < 1:
+            raise ClusterError(
+                f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.nodes: Tuple[str, ...] = tuple(sorted(names))
+        self.virtual_nodes = virtual_nodes
+        points = []
+        for name in self.nodes:
+            for v in range(virtual_nodes):
+                # The node name breaks CRC collision ties, keeping the
+                # clockwise order independent of insertion order.
+                points.append((stable_hash(f"{name}#{v}"), name))
+        points.sort()
+        self._points: List[Tuple[int, str]] = points
+        self._hashes = [h for h, _ in points]
+
+    def primary(self, key: str) -> str:
+        """The node owning ``key`` (first point clockwise of its hash)."""
+        return self.replicas_for(key, 1)[0]
+
+    def replicas_for(self, key: str, r: int) -> List[str]:
+        """The ``r`` distinct nodes holding ``key``, in ring order.
+
+        The first entry is the primary; the rest are the successors a
+        reader fails over to.
+        """
+        if not (1 <= r <= len(self.nodes)):
+            raise ClusterError(
+                f"replication {r} out of range for {len(self.nodes)} node(s)")
+        start = bisect.bisect_right(self._hashes, stable_hash(key))
+        picked: List[str] = []
+        for i in range(len(self._points)):
+            _, name = self._points[(start + i) % len(self._points)]
+            if name not in picked:
+                picked.append(name)
+                if len(picked) == r:
+                    break
+        return picked
+
+    def share_of(self, node: str, keys: Sequence[str], r: int) -> float:
+        """Fraction of ``keys`` whose replica set includes ``node``."""
+        if not keys:
+            return 0.0
+        owned = sum(1 for k in keys if node in self.replicas_for(k, r))
+        return owned / len(keys)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<HashRing nodes={len(self.nodes)} "
+                f"virtual={self.virtual_nodes}>")

@@ -1,0 +1,108 @@
+"""The replication log: what the cluster has acknowledged.
+
+The log is the deterministic stand-in for a metadata service: one
+entry per key recording the last *acknowledged* version, its size, and
+the replica set it was committed against.  Writes commit here only
+after every admitted replica has the bytes durably on disk — so the
+log is exactly the set of promises the cluster has made, and the
+no-lost-acked-writes invariant is checkable against it:
+:meth:`repro.cluster.FileCluster.verify_durability` compares every
+in-sync replica's on-disk size with the log.
+
+Sizes carry versions.  A key's payload is ``base_size(key) + version``
+bytes — version 0 at bootstrap, +1 byte per acknowledged overwrite.
+Monotonic sizes make staleness *observable in simulation* (the
+simulator tracks sizes, not contents): a replica that missed writes
+holds fewer bytes than the log promises, which is what the repair
+agent scans for and what durability verification would flag as a lost
+write on an in-sync member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ClusterError
+
+from repro.cluster.hashring import stable_hash
+
+__all__ = ["base_size", "ReplicationLog"]
+
+#: Key payloads span 1 KiB .. 12.5 KiB in 512-byte steps — small enough
+#: to keep bench runs quick, large enough that transfer time matters.
+_SIZE_STEPS = 24
+_SIZE_QUANTUM = 512
+_SIZE_FLOOR = 1024
+
+
+def base_size(key: str) -> int:
+    """Version-0 payload size for ``key`` (deterministic in the key)."""
+    return _SIZE_FLOOR + (stable_hash(f"size:{key}") % _SIZE_STEPS) * _SIZE_QUANTUM
+
+
+@dataclass
+class _Entry:
+    version: int
+    size: int
+    acked_at: float
+    replicas: Tuple[str, ...]
+
+
+class ReplicationLog:
+    """Last-acknowledged state per key (bootstrap + committed writes)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, _Entry] = {}
+        #: Total acknowledged writes (bootstrap excluded).
+        self.acked_writes = 0
+
+    def bootstrap(self, key: str, size: int,
+                  replicas: Tuple[str, ...], now: float = 0.0) -> None:
+        """Record the initial (version-0) placement of ``key``."""
+        if key in self._entries:
+            raise ClusterError(f"key {key!r} already bootstrapped")
+        self._entries[key] = _Entry(0, size, now, tuple(replicas))
+
+    def next_version(self, key: str) -> int:
+        """The version the in-progress write of ``key`` will commit as."""
+        return self._entry(key).version + 1
+
+    def commit(self, key: str, version: int, size: int,
+               replicas: Tuple[str, ...], now: float) -> None:
+        """Acknowledge a write: every byte of ``size`` is durable on
+        the recorded replicas (writes to one key are serialized by the
+        coordinator, so versions commit in order)."""
+        entry = self._entry(key)
+        if version != entry.version + 1:
+            raise ClusterError(
+                f"out-of-order commit for {key!r}: "
+                f"version {version} after {entry.version}")
+        entry.version = version
+        entry.size = size
+        entry.acked_at = now
+        entry.replicas = tuple(replicas)
+        self.acked_writes += 1
+
+    def _entry(self, key: str) -> _Entry:
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise ClusterError(f"unknown key {key!r}") from None
+
+    def keys(self) -> List[str]:
+        """Every known key, sorted (deterministic scan order)."""
+        return sorted(self._entries)
+
+    def expected_size(self, key: str) -> int:
+        """Bytes the last acknowledged write of ``key`` promised."""
+        return self._entry(key).size
+
+    def acked_version(self, key: str) -> int:
+        return self._entry(key).version
+
+    def replicas_of(self, key: str) -> Tuple[str, ...]:
+        return self._entry(key).replicas
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -37,6 +37,8 @@ __all__ = [
     "FaultError",
     "RetryExhausted",
     "OperationTimeout",
+    "ClusterError",
+    "NoReplicasAvailable",
 ]
 
 
@@ -207,3 +209,15 @@ class RetryExhausted(ReproError):
 
 class OperationTimeout(ReproError):
     """A single attempt exceeded the retry policy's per-op timeout."""
+
+
+# --------------------------------------------------------------------------
+# Cluster
+# --------------------------------------------------------------------------
+
+class ClusterError(ReproError):
+    """Invalid cluster configuration or a broken cluster invariant."""
+
+
+class NoReplicasAvailable(ClusterError):
+    """Every replica of a key is down, ejected, or still rebuilding."""

@@ -38,9 +38,13 @@ _KIND_CATEGORY = {
     "disk.stall": "storage",
     "disk.fail": "storage",
     "net.drop": "net",
+    "node.crash": "cluster",
+    "node.partition": "cluster",
 }
 
 _DISK_OP_KINDS = ("disk.media_error", "disk.slow", "disk.stall")
+
+_NODE_KINDS = ("node.crash", "node.partition")
 
 
 @dataclass(frozen=True)
@@ -131,6 +135,53 @@ class FaultInjector:
             if disk.failed:
                 disk.repair()
                 self._fire(index, spec, disk=disk.name, action="repair")
+
+    # -- node faults -----------------------------------------------------------
+
+    def register_node(self, node) -> None:
+        """Arm ``node.crash``/``node.partition`` rules targeting
+        ``node.name``.
+
+        Mirrors :meth:`register_disk`: each matching rule spawns a
+        daemon that fires at the rule's ``start`` and — when ``end``
+        is set — recovers the node (``node.crash``) or heals the
+        partition (``node.partition``) there.  ``node`` is any object
+        with the :class:`repro.cluster.ClusterNode` lifecycle surface
+        (``name``, ``is_up``, ``is_reachable``, ``crash``/``recover``/
+        ``partition``/``heal``).
+        """
+        for index, spec in self.plan.for_kind(*_NODE_KINDS):
+            if not spec.matches_target(node.name) or not self._budget_left(index, spec):
+                continue
+            self.engine.process(self._node_fault_at(index, spec, node),
+                                name=f"fault.{spec.kind}.{node.name}",
+                                daemon=True)
+
+    def _node_fault_at(self, index: int, spec: FaultSpec, node):
+        if spec.start > self.engine.now:
+            yield self.engine.timeout(spec.start - self.engine.now)
+        if not self._budget_left(index, spec):
+            return
+        if spec.kind == "node.crash":
+            if not node.is_up:
+                return
+            node.crash(reason=f"injected by fault spec #{index}")
+            self._fire(index, spec, node=node.name, action="crash")
+            if spec.end is not None:
+                yield self.engine.timeout(spec.end - self.engine.now)
+                if not node.is_up:
+                    node.recover()
+                    self._fire(index, spec, node=node.name, action="recover")
+        else:  # node.partition
+            if not (node.is_up and node.is_reachable):
+                return
+            node.partition(reason=f"injected by fault spec #{index}")
+            self._fire(index, spec, node=node.name, action="partition")
+            if spec.end is not None:
+                yield self.engine.timeout(spec.end - self.engine.now)
+                if node.is_up and not node.is_reachable:
+                    node.heal()
+                    self._fire(index, spec, node=node.name, action="heal")
 
     def disk_fault(self, disk_name: str, lba: int,
                    nblocks: int) -> Optional[Tuple[str, FaultSpec]]:

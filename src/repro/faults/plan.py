@@ -27,8 +27,19 @@ Fault kinds
 ``net.drop``
     An in-flight connection is torn down; both endpoints observe
     :class:`~repro.errors.ConnectionReset`.
+``node.crash``
+    A cluster node crashes at ``start``: it stops accepting, every
+    in-flight and queued connection is reset, and its endpoint turns
+    unreachable.  With an ``end`` the node is repaired there and
+    re-joins (storage intact but possibly stale — the cluster
+    re-replicates before readmitting it for reads).
+``node.partition``
+    The node stays alive — in-flight requests complete — but its
+    endpoint is unreachable for new connections until ``end`` (the
+    balancer ejects it; writes made meanwhile leave it stale).
 
-Probabilistic kinds (everything except ``disk.fail``) draw one uniform
+Probabilistic kinds (everything except the window-scheduled
+``disk.fail``/``node.crash``/``node.partition``) draw one uniform
 variate per candidate operation from a stream named after the spec, so
 adding a spec never perturbs the draws of another.
 """
@@ -48,9 +59,15 @@ FAULT_KINDS = (
     "disk.stall",
     "disk.fail",
     "net.drop",
+    "node.crash",
+    "node.partition",
 )
 
-_PROBABILISTIC = frozenset(k for k in FAULT_KINDS if k != "disk.fail")
+#: Window-scheduled kinds fire deterministically at ``start`` (and
+#: repair/heal at ``end``) rather than drawing per-operation variates.
+_SCHEDULED = frozenset({"disk.fail", "node.crash", "node.partition"})
+
+_PROBABILISTIC = frozenset(k for k in FAULT_KINDS if k not in _SCHEDULED)
 
 
 @dataclass(frozen=True)
@@ -66,8 +83,10 @@ class FaultSpec:
         ``"*"`` matches any target).
     start, end:
         Simulated-time window in which the rule is armed.  ``end=None``
-        means "until the end of the run".  ``disk.fail`` ignores ``end``
-        and fires exactly once at ``start``.
+        means "until the end of the run".  Window-scheduled kinds
+        (``disk.fail``, ``node.crash``, ``node.partition``) fire
+        exactly once at ``start`` and — when ``end`` is set — repair,
+        recover, or heal the target at ``end``.
     probability:
         Per-operation firing probability for probabilistic kinds.
     lba_range:
@@ -184,6 +203,9 @@ class FaultPlan:
                 parts.append(f"x{s.slow_factor:g}")
             if s.kind == "disk.stall":
                 parts.append(f"+{s.delay:g}s")
+            if s.kind in ("node.crash", "node.partition"):
+                parts.append("recovers at end" if s.end is not None
+                             else "no recovery")
             if s.max_hits is not None:
                 parts.append(f"max_hits={s.max_hits}")
             lines.append(" ".join(parts))

@@ -46,17 +46,24 @@ class Network:
         latency: float = 100e-6,
         connect_overhead: float = 50e-6,
         injector=None,
+        syn_timeout: float = 50e-3,
     ) -> None:
         if bandwidth <= 0:
             raise SimulationError(f"bandwidth must be positive, got {bandwidth}")
         if latency < 0 or connect_overhead < 0:
             raise SimulationError("latency/connect overhead must be >= 0")
+        if syn_timeout <= 0:
+            raise SimulationError(f"syn_timeout must be positive, got {syn_timeout}")
         self.engine = engine
         self.bandwidth = bandwidth
         self.latency = latency
         self.connect_overhead = connect_overhead
         self.injector = injector
+        #: Time a connect to a blocked (unreachable) endpoint burns
+        #: before giving up — an aggressive SYN retransmission budget.
+        self.syn_timeout = syn_timeout
         self._listeners: Dict[Tuple[str, int], "TcpListener"] = {}
+        self._blocked: set = set()
 
     def _register(self, listener: "TcpListener") -> None:
         key = (listener.host, listener.port)
@@ -67,13 +74,45 @@ class Network:
     def _unregister(self, listener: "TcpListener") -> None:
         self._listeners.pop((listener.host, listener.port), None)
 
+    # -- reachability (cluster fault surface) ------------------------------
+
+    def block(self, host: str, port: int) -> None:
+        """Make an endpoint unreachable: new connects burn the SYN
+        budget and fail with :class:`~repro.errors.ConnectionReset`
+        (retryable).  Established connections are unaffected — tearing
+        those down is the caller's decision (a crash does, a partition
+        does not)."""
+        self._blocked.add((host, port))
+
+    def unblock(self, host: str, port: int) -> None:
+        """Undo :meth:`block` for an endpoint."""
+        self._blocked.discard((host, port))
+
+    def reachable(self, host: str, port: int) -> bool:
+        """Would a SYN reach a live listener right now?  (What a
+        health probe learns without paying a full handshake.)"""
+        if (host, port) in self._blocked:
+            return False
+        listener = self._listeners.get((host, port))
+        return listener is not None and listener.listening
+
     def connect(self, host: str, port: int):
         """Generator: open a connection to a listening endpoint.
 
         Pays the three-way-handshake cost (one round trip + software
         overhead) and returns the client-side :class:`Socket`.
+        Connecting to a :meth:`block`-ed endpoint burns
+        :attr:`syn_timeout` and raises
+        :class:`~repro.errors.ConnectionReset` — retryable, unlike the
+        hard error for an address nothing ever listened on.
         """
         key = (host, port)
+        if key in self._blocked:
+            yield self.engine.timeout(self.syn_timeout)
+            tracer = self.engine.tracer
+            if tracer.enabled:
+                tracer.instant("net.unreachable", "net", host=host, port=port)
+            raise ConnectionReset(f"host unreachable: no route to {key}")
         listener = self._listeners.get(key)
         if listener is None or not listener.listening:
             raise SimulationError(f"connection refused: no listener at {key}")
@@ -111,6 +150,7 @@ class TcpListener:
         self.listening = False
         self.backlog_limit = backlog_limit
         self.refused = 0
+        self._ever_started = False
         self._backlog: Store = Store(network.engine, name=f"backlog:{host}:{port}")
 
     def start(self) -> None:
@@ -119,6 +159,7 @@ class TcpListener:
             return
         self.network._register(self)
         self.listening = True
+        self._ever_started = True
 
     def stop(self) -> None:
         """Stop accepting; queued connections remain acceptable."""
@@ -132,11 +173,26 @@ class TcpListener:
         """Connections waiting in the backlog."""
         return self._backlog.count
 
+    def drain_backlog(self) -> list:
+        """Remove and return the queued (not yet accepted) server-side
+        sockets.  A crashing node drains its backlog and tears each
+        connection down so queued clients observe a reset instead of
+        hanging; accept loops blocked on an empty backlog stay parked
+        and resume when the listener starts taking connections again."""
+        return self._backlog.drain()
+
     def accept_socket(self):
         """Generator: block until a connection arrives; returns the
-        server-side :class:`Socket` (the paper's ``AcceptSocket()``)."""
-        if not self.listening and self._backlog.count == 0:
-            raise SimulationError("accept on a stopped listener with empty backlog")
+        server-side :class:`Socket` (the paper's ``AcceptSocket()``).
+
+        A *stopped* listener parks here rather than erroring: a crashed
+        node's accept loop may re-enter between the stop and the
+        restart (e.g. it was already holding a connection delivered at
+        the crash timestamp), and it must survive to drain the backlog
+        once the listener comes back — only accepting on a listener
+        that was never started is a programming error."""
+        if not self._ever_started:
+            raise SimulationError("accept on a listener that was never started")
         sock = yield self._backlog.get()
         return sock
 
@@ -237,6 +293,12 @@ class Socket:
         self._pending -= take
         self.bytes_received += take
         return take
+
+    def reset(self) -> None:
+        """Forcibly reset the connection: both endpoints observe
+        :class:`~repro.errors.ConnectionReset`.  What a node crash
+        does to every connection the node holds."""
+        self._tear_down()
 
     def _tear_down(self) -> None:
         """Reset both endpoints and wake any blocked receivers."""

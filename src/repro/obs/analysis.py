@@ -46,6 +46,11 @@ _LAYER_PREFIXES: Tuple[Tuple[str, str], ...] = (
     ("jit.", "jit"),
     ("http.", "webserver"),
     ("replay.", "replay"),
+    ("cluster.", "cluster"),
+    ("lb.", "cluster"),
+    ("node.", "cluster"),
+    ("rebalance.", "cluster"),
+    ("failover", "cluster"),
     ("process:", "sim"),
     ("engine.", "sim"),
 )
@@ -57,6 +62,7 @@ _LAYER_CATEGORIES = {
     "webserver": "webserver",
     "replay": "replay",
     "net": "network",
+    "cluster": "cluster",
     "sim": "sim",
 }
 

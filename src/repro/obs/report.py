@@ -302,6 +302,45 @@ def _series_key(record: dict) -> Tuple[str, str]:
             json.dumps(labels, sort_keys=True, default=str))
 
 
+def _cluster_rows(series: Dict[Tuple[str, str], List[dict]]) -> List[str]:
+    """Per-node rollup of ``cluster.*``/``lb.*`` series (empty for a
+    single-host stream — the section renders only for cluster runs).
+
+    One block per attachment context (e.g. ``scenario=...``): a fleet
+    line for the unlabeled cluster counters, then one line per node.
+    The registry's ``#N`` duplicate-name suffixes are presentation
+    noise here — the ``node=`` label is the identity — so they are
+    stripped.
+    """
+    groups: Dict[Tuple[str, int, str], Dict[str, float]] = {}
+    for (metric, labels_json), recs in series.items():
+        base = metric.split("#", 1)[0]
+        if not (base.startswith("cluster.") or base.startswith("lb.")):
+            continue
+        last = recs[-1].get("stats", {})
+        total = last.get("value", last.get("mean"))
+        if total is None:
+            continue
+        labels = json.loads(labels_json)
+        node = labels.pop("node", None)
+        context = " ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        key = (context, 0, "fleet") if node is None else (context, 1, node)
+        groups.setdefault(key, {})[base] = total
+    rows: List[str] = []
+    previous = None
+    for (context, _order, who) in sorted(groups):
+        if context != previous:
+            if previous is not None:
+                rows.append("")
+            if context:
+                rows.append(f"[{context}]")
+            previous = context
+        metrics = groups[(context, _order, who)]
+        rows.append(f"{who:<10} " + "  ".join(
+            f"{m}={metrics[m]:g}" for m in sorted(metrics)))
+    return rows
+
+
 def render_timeline_report(records: Sequence[dict], top: int = 20,
                            width: int = 60) -> str:
     """Time-resolved text report over one telemetry series stream.
@@ -373,6 +412,12 @@ def render_timeline_report(records: Sequence[dict], top: int = 20,
         )
     if len(ranked) > top:
         lines.append(f"... {len(ranked) - top} more series")
+
+    cluster_rows = _cluster_rows(series)
+    if cluster_rows:
+        lines.append("")
+        lines += _section("cluster")
+        lines += cluster_rows
 
     lines.append("")
     lines += _section("slo status")

@@ -66,6 +66,8 @@ _LAYER_PREFIXES: Tuple[Tuple[str, str], ...] = (
     ("faults.", "resilience"),
     ("retry.", "resilience"),
     ("workload.", "client"),
+    ("cluster.", "cluster"),
+    ("lb.", "cluster"),
 )
 
 

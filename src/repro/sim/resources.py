@@ -153,6 +153,18 @@ class Store:
             self._getters.append(ev)
         return ev
 
+    def drain(self) -> list:
+        """Remove and return every buffered item (oldest first).
+
+        Waiting getters are untouched: they stay parked until the next
+        :meth:`put`.  Used by teardown paths (e.g. a crashing cluster
+        node flushing its accept backlog) that must dispose of queued
+        items without waking consumers.
+        """
+        items = list(self._items)
+        self._items.clear()
+        return items
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Store {self.name} items={len(self._items)} waiting={len(self._getters)}>"
 

@@ -81,6 +81,7 @@ class ServerHost:
         network: Network,
         config=None,
         retrier=None,
+        labels=None,
     ) -> None:
         from repro.webserver.server import WebServerConfig, build_handler_methods
 
@@ -92,6 +93,10 @@ class ServerHost:
         # Optional repro.faults.Retrier: GET file opens/reads run under
         # its policy so transient storage faults do not kill workers.
         self.retrier = retrier
+        # Extra metric labels (e.g. node="node-0" when this server is
+        # one member of a repro.cluster) merged into every registration
+        # alongside server=/architecture=.
+        self.labels = dict(labels or {})
         self.metrics = ServerMetrics()
         self.handlers = RequestHandlers(self)
         self.listener = TcpListener(network, self.config.host, self.config.port,
@@ -105,15 +110,16 @@ class ServerHost:
         #: High-water mark of :attr:`live_workers`.
         self.peak_live_workers = 0
         reg = engine.metrics
-        self.metrics.bind(reg, server=self.config.host,
-                          architecture=self.ARCHITECTURE)
+        self.metric_labels = dict(self.labels)
+        self.metric_labels.update(server=self.config.host,
+                                  architecture=self.ARCHITECTURE)
+        self.metrics.bind(reg, **self.metric_labels)
         for counter in (self.connections_accepted, self.shed,
                         self.deadline_exceeded):
-            reg.register(counter.name, counter, server=self.config.host,
-                         architecture=self.ARCHITECTURE)
+            reg.register(counter.name, counter, **self.metric_labels)
         reg.gauge("server.peak_processes",
                   lambda: self.peak_live_processes,
-                  server=self.config.host, architecture=self.ARCHITECTURE)
+                  **self.metric_labels)
         self._rng = SeededStreams(self.config.seed).get("post-file-names")
         self._started = False
 

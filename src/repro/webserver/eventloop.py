@@ -53,8 +53,9 @@ class EventLoopServer(ServerHost):
     ARCHITECTURE = "eventloop"
 
     def __init__(self, engine, runtime, fs, network, config=None,
-                 retrier=None) -> None:
-        super().__init__(engine, runtime, fs, network, config, retrier)
+                 retrier=None, labels=None) -> None:
+        super().__init__(engine, runtime, fs, network, config, retrier,
+                         labels=labels)
         self.loop = TaskLoop(engine, name="webserver.loop",
                              error_handler=self._on_task_error)
         # In-flight connection tasks (excludes the acceptor and sheds).

@@ -167,11 +167,17 @@ class RequestHandlers:
         )
 
     def do_post(self, conn_id: int):
-        """Serve a POST: write the body to a fresh randomly-named file
-        through a StreamWriter (timed), then acknowledge."""
+        """Serve a POST: write the body through a StreamWriter (timed),
+        then acknowledge.  The paper's scheme writes to a fresh
+        randomly-named file; with ``keyed_writes`` the body lands at
+        the request path itself (``FileMode.CREATE`` overwrites), the
+        contract replicated cluster nodes rely on."""
         conn = self._conn(conn_id)
         request = conn.request
-        path = self.server.new_upload_path()
+        if self.server.config.keyed_writes:
+            path = self.server.resolve_path(request.path)
+        else:
+            path = self.server.new_upload_path()
         t0 = self.engine.now
         try:
             stream = yield from FileStream.open(self.fs, path, FileMode.CREATE)

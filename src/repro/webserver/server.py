@@ -56,6 +56,13 @@ class WebServerConfig:
         file streaming loops.
     seed:
         Root seed for the server's private RNG streams (upload names).
+    keyed_writes:
+        When True, POST bodies are stored at the *request path* (under
+        ``docroot``) instead of a fresh random upload name — the
+        storage contract a replicated cluster needs, where every
+        replica of a key must hold the same file at the same path and
+        a re-write of the key overwrites in place.  Defaults to False:
+        the paper's no-synchronization random-name scheme.
 
     The three graceful-degradation knobs default to off (``None``),
     preserving the paper's unbounded server.  Their *protocol-level*
@@ -81,6 +88,7 @@ class WebServerConfig:
     upload_dir: str = "/www/uploads"
     file_chunk: int = 8192
     seed: int = 0
+    keyed_writes: bool = False
     max_concurrency: Optional[int] = None
     accept_backlog: Optional[int] = None
     request_deadline: Optional[float] = None
@@ -153,16 +161,16 @@ class ThreadPerConnectionServer(ServerHost):
     ARCHITECTURE = "thread"
 
     def __init__(self, engine, runtime, fs, network, config=None,
-                 retrier=None) -> None:
-        super().__init__(engine, runtime, fs, network, config, retrier)
+                 retrier=None, labels=None) -> None:
+        super().__init__(engine, runtime, fs, network, config, retrier,
+                         labels=labels)
         #: Worker threads created over the server's lifetime (one per
         #: admitted connection; kept alongside ``server.connections``
         #: because threads are this architecture's defining cost).
         self.threads_spawned = Counter("server.threads")
         engine.metrics.register(self.threads_spawned.name,
                                 self.threads_spawned,
-                                server=self.config.host,
-                                architecture=self.ARCHITECTURE)
+                                **self.metric_labels)
         self._threads: List[ManagedThread] = []
 
     # -- architecture hooks -------------------------------------------------

@@ -1,0 +1,112 @@
+"""LoadBalancer: routing policies, health probing, eject/readmit."""
+
+import pytest
+
+from repro.cluster import BalancerConfig, ClusterConfig, FileCluster
+from repro.errors import ClusterError
+
+
+def _cluster(**overrides):
+    defaults = dict(nodes=3, replication=2, num_keys=8)
+    defaults.update(overrides)
+    return FileCluster(ClusterConfig(**defaults))
+
+
+def test_balancer_config_validates():
+    with pytest.raises(ClusterError):
+        BalancerConfig(policy="random")
+    with pytest.raises(ClusterError):
+        BalancerConfig(replication=0)
+    with pytest.raises(ClusterError):
+        BalancerConfig(probe_interval=0.0)
+    with pytest.raises(ClusterError):
+        BalancerConfig(eject_after=0)
+    with pytest.raises(ClusterError):
+        ClusterConfig(nodes=2, replication=3)
+
+
+def test_write_targets_are_all_admitted_replicas():
+    cluster = _cluster()
+    balancer = cluster.balancer
+    key = cluster.keys[0]
+    assert balancer.write_targets(key) == balancer.replicas(key)
+    assert len(balancer.replicas(key)) == 2
+
+
+def test_consistent_policy_reads_ring_order():
+    cluster = _cluster(policy="consistent")
+    balancer = cluster.balancer
+    key = cluster.keys[0]
+    order = balancer.replicas(key)
+    for _ in range(3):
+        assert balancer.read_order(key) == order
+
+
+def test_round_robin_policy_rotates_start():
+    cluster = _cluster(policy="round_robin")
+    balancer = cluster.balancer
+    key = cluster.keys[0]
+    first = balancer.read_order(key)
+    second = balancer.read_order(key)
+    assert sorted(first) == sorted(second)
+    assert first != second  # rotated start replica
+
+
+def test_least_conn_policy_prefers_idle_node():
+    cluster = _cluster(policy="least_conn")
+    balancer = cluster.balancer
+    key = cluster.keys[0]
+    a, b = balancer.replicas(key)
+    balancer.note_dispatch(a)
+    balancer.note_dispatch(a)
+    assert balancer.read_order(key)[0] == b
+    balancer.note_done(a)
+    balancer.note_done(a)
+    balancer.note_dispatch(b)
+    assert balancer.read_order(key)[0] == a
+
+
+def test_probes_eject_after_streak_and_readmit_after_recovery():
+    cluster = _cluster(eject_after=3, readmit_after=2, probe_interval=0.01)
+    engine = cluster.engine
+    balancer = cluster.balancer
+    node = cluster.nodes["node-1"]
+
+    def driver():
+        node.crash(reason="test")
+        # 3 failed probes at 10 ms cadence eject; give one spare round.
+        yield engine.timeout(0.045)
+        assert not balancer.is_admitted("node-1")
+        assert not balancer.is_in_sync("node-1")
+        assert "node-1" not in balancer.healthy_nodes()
+        node.recover()
+        yield engine.timeout(0.045)
+        assert balancer.is_admitted("node-1")
+        return True
+
+    assert engine.run_process(driver())
+    # The repair agent ran at readmit and restored read eligibility.
+    assert balancer.is_in_sync("node-1")
+    assert balancer.ejections["node-1"].value == 1
+
+
+def test_ejected_replica_leaves_read_and_write_paths():
+    cluster = _cluster()
+    balancer = cluster.balancer
+    key = cluster.keys[0]
+    victim = balancer.replicas(key)[0]
+    balancer._eject(victim)
+    assert victim not in balancer.write_targets(key)
+    assert victim not in balancer.read_order(key)
+    assert not balancer.is_fully_replicated(key)
+
+
+def test_readmit_without_repair_hook_trusts_node():
+    """Standalone balancers (no cluster repair agent) restore in_sync
+    directly on readmit."""
+    cluster = _cluster()
+    balancer = cluster.balancer
+    balancer.on_readmit = None
+    balancer._eject("node-0")
+    balancer._readmit("node-0")
+    assert balancer.is_in_sync("node-0")

@@ -1,0 +1,173 @@
+"""End-to-end cluster robustness: crash, partition, re-replication,
+durability, and determinism."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterWorkload,
+    ClusterWorkloadConfig,
+    FileCluster,
+)
+from repro.errors import NoReplicasAvailable
+from repro.faults import FaultPlan, FaultSpec
+from repro.obs import Tracer
+
+
+def _crash_plan(kind="node.crash", target="node-1", start=0.08, end=0.20,
+                seed=5):
+    return FaultPlan(seed=seed, specs=(
+        FaultSpec(kind=kind, target=target, start=start, end=end),
+    ))
+
+
+def _run(kind="node.crash", policy="round_robin", nodes=3, replication=2,
+         seed=5, requests=150, tracer=None, start=0.08, end=0.20,
+         get_fraction=0.6):
+    cluster = FileCluster(ClusterConfig(
+        nodes=nodes, replication=replication, policy=policy,
+        num_keys=16, seed=seed,
+        fault_plan=_crash_plan(kind=kind, seed=seed, start=start, end=end),
+        tracer=tracer,
+    ))
+    workload = ClusterWorkload(cluster, ClusterWorkloadConfig(
+        requests=requests, arrival_rate=500.0, seed=seed,
+        get_fraction=get_fraction,
+    ))
+    return cluster, workload.run()
+
+
+def test_bootstrap_places_every_key_on_r_replicas():
+    cluster = FileCluster(ClusterConfig(nodes=3, replication=2, num_keys=12))
+    for key in cluster.keys:
+        replicas = cluster.log.replicas_of(key)
+        assert len(replicas) == 2
+        for name in replicas:
+            assert cluster.nodes[name].stored_size(key) == \
+                cluster.log.expected_size(key)
+        # Non-replicas hold nothing.
+        for name in set(cluster.nodes) - set(replicas):
+            assert cluster.nodes[name].stored_size(key) is None
+
+
+def test_replicated_put_lands_on_every_replica():
+    cluster = FileCluster(ClusterConfig(nodes=3, replication=2, num_keys=4))
+    client = cluster.client()
+    key = cluster.keys[0]
+    size = cluster.engine.run_process(client.put(key))
+    assert cluster.log.acked_version(key) == 1
+    assert cluster.log.expected_size(key) == size
+    for name in cluster.log.replicas_of(key):
+        assert cluster.nodes[name].stored_size(key) == size
+
+
+def test_crash_survives_with_zero_lost_acked_writes():
+    cluster, result = _run(kind="node.crash")
+    assert result.completed == result.attempted  # nothing aborted
+    assert result.ejections >= 1
+    assert result.failovers >= 1
+    assert result.degraded > 0
+    durability = cluster.verify_durability()
+    assert durability["lost_acked_writes"] == 0, durability["lost"]
+    assert cluster.log.acked_writes > 0
+    # The crashed member came back, rebuilt, and serves reads again.
+    node = cluster.nodes["node-1"]
+    assert node.is_up and node.crashes.value == 1
+    assert cluster.balancer.is_in_sync("node-1")
+    assert node.rebuild_progress == 1.0
+
+
+def test_partition_heals_with_zero_lost_acked_writes():
+    cluster, result = _run(kind="node.partition", policy="consistent")
+    assert cluster.verify_durability()["lost_acked_writes"] == 0
+    node = cluster.nodes["node-1"]
+    assert node.is_up and node.is_reachable
+    assert node.crashes.value == 0  # partition is not a crash
+    assert result.ejections >= 1
+    assert cluster.balancer.is_in_sync("node-1")
+
+
+def test_rejoined_node_rebuilds_stale_shards():
+    """Writes accepted while a member is down must be re-replicated to
+    it before it serves reads — and after rebuild its copies match the
+    log exactly."""
+    cluster, result = _run(kind="node.crash", seed=9, requests=200)
+    assert cluster.verify_durability()["lost_acked_writes"] == 0
+    node = cluster.nodes["node-1"]
+    for key in cluster.log.keys():
+        if "node-1" in cluster.log.replicas_of(key):
+            assert node.stored_size(key) == cluster.log.expected_size(key)
+
+
+def test_cluster_point_events_reach_the_tracer():
+    tracer = Tracer()
+    _cluster, _result = _run(kind="node.crash", tracer=tracer)
+    names = {e.name for e in tracer.events}
+    assert {"node.down", "node.up", "lb.eject", "lb.readmit"} <= names
+    downs = [e for e in tracer.events if e.name == "node.down"]
+    assert downs[0].attrs["node"] == "node-1"
+    assert downs[0].attrs["kind"] == "crash"
+
+
+def test_same_seed_runs_are_identical():
+    def signature():
+        cluster, result = _run(kind="node.crash", policy="least_conn")
+        return (
+            result.completed, result.aborted, result.failovers,
+            result.retries, result.ejections, result.rebuilt_keys,
+            result.degraded, result.duration,
+            tuple(sorted(result.served_by_node.items())),
+            tuple(result.latencies.values),
+            cluster.log.acked_writes,
+        )
+
+    assert signature() == signature()
+
+
+def test_write_in_flight_across_readmit_reaches_rejoined_replica():
+    """A PUT that picked its targets while a replica was ejected, but
+    commits after that replica's readmit + rebuild scan, must re-read
+    the admitted set and write to the rejoined node too — otherwise it
+    would be marked in-sync while missing acked bytes.  Seed 9 with
+    this mix hit exactly that interleaving before the fix."""
+    cluster, result = _run(kind="node.crash", seed=9, requests=200,
+                           start=0.10, end=0.22, get_fraction=0.7)
+    assert result.completed == result.attempted
+    durability = cluster.verify_durability()
+    assert durability["lost_acked_writes"] == 0, durability["lost"]
+    # Every in-sync replica really holds the acked bytes.
+    for key in cluster.log.keys():
+        for name in cluster.log.replicas_of(key):
+            if cluster.balancer.is_in_sync(name):
+                assert cluster.nodes[name].stored_size(key) == \
+                    cluster.log.expected_size(key)
+
+
+def test_accept_loop_survives_crash_timestamp_race():
+    """Seed 1 delivers a connection to the accept loop at the crash
+    timestamp: the loop re-enters accept_socket() on the stopped
+    listener and must park (not die), or the rejoined node never
+    serves again and the run deadlocks."""
+    cluster, result = _run(kind="node.crash", seed=1, requests=200,
+                           start=0.10, end=0.22, get_fraction=0.7)
+    assert result.completed == result.attempted
+    assert cluster.nodes["node-1"].server.listener.pending == 0
+    assert cluster.verify_durability()["lost_acked_writes"] == 0
+
+
+def test_all_replicas_down_aborts_instead_of_hanging():
+    cluster = FileCluster(ClusterConfig(nodes=2, replication=2, num_keys=4))
+    for node in cluster.nodes.values():
+        node.crash(reason="total outage")
+    # Let probes eject everyone.
+    cluster.engine.run_process(_sleep(cluster.engine, 0.2))
+    client = cluster.client()
+    with pytest.raises(NoReplicasAvailable):
+        cluster.engine.run_process(client.get(cluster.keys[0]))
+    with pytest.raises(NoReplicasAvailable):
+        cluster.engine.run_process(client.put(cluster.keys[0]))
+    assert cluster.verify_durability()["checked"] == 4
+
+
+def _sleep(engine, delay):
+    yield engine.timeout(delay)

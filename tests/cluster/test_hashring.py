@@ -1,0 +1,74 @@
+"""Consistent-hash ring: placement determinism and replica math."""
+
+import pytest
+
+from repro.cluster import HashRing, stable_hash
+from repro.errors import ClusterError
+
+NODES = ["node-0", "node-1", "node-2", "node-3", "node-4"]
+
+
+def test_stable_hash_is_deterministic_and_32bit():
+    assert stable_hash("/k0001") == stable_hash("/k0001")
+    assert 0 <= stable_hash("anything") < 2 ** 32
+    assert stable_hash("a") != stable_hash("b")
+
+
+def test_construction_validates():
+    with pytest.raises(ClusterError):
+        HashRing([])
+    with pytest.raises(ClusterError):
+        HashRing(["a", "a"])
+    with pytest.raises(ClusterError):
+        HashRing(["a"], virtual_nodes=0)
+
+
+def test_placement_is_insertion_order_independent():
+    a = HashRing(NODES)
+    b = HashRing(list(reversed(NODES)))
+    for i in range(50):
+        key = f"/k{i:04d}"
+        assert a.replicas_for(key, 3) == b.replicas_for(key, 3)
+
+
+def test_replicas_are_distinct_and_primary_first():
+    ring = HashRing(NODES)
+    for i in range(50):
+        key = f"/k{i:04d}"
+        replicas = ring.replicas_for(key, 3)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+        assert replicas[0] == ring.primary(key)
+        # Growing R extends the set without reshuffling the prefix.
+        assert ring.replicas_for(key, 2) == replicas[:2]
+
+
+def test_replication_bounds_validated():
+    ring = HashRing(NODES[:3])
+    with pytest.raises(ClusterError):
+        ring.replicas_for("/k", 0)
+    with pytest.raises(ClusterError):
+        ring.replicas_for("/k", 4)
+
+
+def test_membership_change_moves_only_adjacent_keys():
+    """Dropping one node must not move keys between surviving nodes —
+    the consistency property that bounds re-replication traffic."""
+    keys = [f"/k{i:04d}" for i in range(200)]
+    full = HashRing(NODES)
+    without = HashRing([n for n in NODES if n != "node-2"])
+    for key in keys:
+        before = full.primary(key)
+        after = without.primary(key)
+        if before != "node-2":
+            assert after == before
+
+
+def test_share_of_is_roughly_balanced():
+    ring = HashRing(NODES, virtual_nodes=128)
+    keys = [f"/k{i:04d}" for i in range(400)]
+    for node in NODES:
+        share = ring.share_of(node, keys, r=2)
+        # Fair share is 2/5 = 0.4; virtual nodes keep the skew bounded.
+        assert 0.2 < share < 0.6
+    assert ring.share_of("node-0", [], r=2) == 0.0

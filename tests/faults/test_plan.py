@@ -33,10 +33,12 @@ def test_invalid_specs_raise(kwargs):
         FaultSpec(**kwargs)
 
 
-def test_probabilistic_excludes_disk_fail():
-    assert not FaultSpec(kind="disk.fail").probabilistic
+def test_probabilistic_excludes_window_scheduled_kinds():
+    scheduled = ("disk.fail", "node.crash", "node.partition")
+    for kind in scheduled:
+        assert not FaultSpec(kind=kind).probabilistic
     for kind in FAULT_KINDS:
-        if kind != "disk.fail":
+        if kind not in scheduled:
             assert FaultSpec(kind=kind).probabilistic
 
 

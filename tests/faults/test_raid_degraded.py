@@ -146,3 +146,49 @@ def test_rebuild_of_in_sync_member_is_a_noop():
         return copied
 
     assert engine.run_process(driver()) == 0
+
+
+def test_rebuild_races_concurrent_degraded_reads():
+    """Resilvering shares the array with live traffic: reads issued
+    while the rebuild is mid-flight stay degraded (the target is not
+    in sync yet), every one of them completes, and the rebuild still
+    finishes and restores sync."""
+    engine = Engine()
+    array, disks = _mirror(engine, specs=[
+        FaultSpec(kind="disk.fail", target="m1", end=0.5),
+    ])
+    mid_rebuild = {"degraded": 0, "reads": 0}
+
+    def reader():
+        # Continuous read pressure: before, during, and after rebuild.
+        for i in range(30):
+            yield array.submit_range((i % 8) * 16, 8)
+            if 0 < array.rebuild_progress < 1.0:
+                mid_rebuild["reads"] += 1
+                if array.degraded:
+                    mid_rebuild["degraded"] += 1
+            yield engine.timeout(0.05)
+
+    def resilver():
+        # Wait out the drive swap at t=0.5, then rebuild while the
+        # reader keeps going.
+        yield engine.timeout(0.6)
+        copied = yield from array.rebuild(
+            1, chunk_blocks=GEO.total_blocks // 16)
+        return copied
+
+    read_proc = engine.process(reader(), name="reader")
+    rebuild_proc = engine.process(resilver(), name="resilver")
+
+    def waiter():
+        yield engine.all_of([read_proc, rebuild_proc])
+
+    engine.run_process(waiter())
+    assert rebuild_proc.value == GEO.total_blocks
+    assert array.in_sync_members() == [0, 1]
+    assert not array.degraded
+    # The race actually happened: reads landed mid-rebuild, and the
+    # not-yet-synced target kept them degraded.
+    assert mid_rebuild["reads"] > 0
+    assert mid_rebuild["degraded"] == mid_rebuild["reads"]
+    assert array.degraded_reads.value >= mid_rebuild["degraded"]

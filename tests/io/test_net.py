@@ -222,3 +222,43 @@ def test_multiple_concurrent_connections(engine, net):
         engine.process(client(n))
     engine.run()
     assert sorted(served) == [100, 200, 300]
+
+
+def test_accept_on_never_started_listener_raises(engine, net):
+    listener = TcpListener(net, port=5050)
+
+    def server():
+        yield from listener.accept_socket()
+
+    p = engine.process(server())
+    engine.run()
+    assert not p.ok
+    assert isinstance(p.value, SimulationError)
+
+
+def test_accept_loop_survives_stop_start_cycle(engine, net):
+    """An accept loop that re-enters accept_socket() while the
+    listener is stopped (a crashing node's race) must park, not die —
+    it has to drain the backlog once the listener restarts."""
+    listener = TcpListener(net, port=5050)
+    listener.start()
+    accepted = []
+
+    def server():
+        while True:
+            sock = yield from listener.accept_socket()
+            accepted.append(sock)
+
+    def scenario():
+        yield from net.connect("localhost", 5050)
+        # The loop is now re-entered; stop/start underneath it.
+        listener.stop()
+        yield engine.timeout(0.01)
+        listener.start()
+        sock = yield from net.connect("localhost", 5050)
+        yield engine.timeout(0.01)
+        return sock
+
+    engine.process(server(), daemon=True)
+    run(engine, scenario())
+    assert len(accepted) == 2
