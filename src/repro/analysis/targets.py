@@ -13,7 +13,11 @@ CI job) can sweep the whole corpus:
 * ``qcrd_cil``      — a CIL encoding of the QCRD application's phase
   structure (paper §2.2, Eqs. 9–10): Program 1's 12 alternating
   CPU/I-O cycles and Program 2's 13 identical I/O phases as managed
-  driver loops over ``Qcrd.*`` intrinsics.
+  driver loops over ``Qcrd.*`` intrinsics;
+* ``cluster``       — the cluster coordinator's protocol loops
+  (:mod:`repro.cluster.client`) as managed code: a failover read that
+  walks the replica order with a protected region per attempt, and a
+  replicated write that drives every replica before committing.
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ __all__ = [
     "build_trace_replay_assembly",
     "build_webserver_assembly",
     "build_qcrd_cil_assembly",
+    "build_cluster_assembly",
 ]
 
 
@@ -136,12 +141,91 @@ def build_qcrd_cil_assembly() -> AssemblyDef:
     return ab.build()
 
 
+def build_cluster_assembly() -> AssemblyDef:
+    """The cluster coordinator's protocol loops as managed code.
+
+    ``FailoverRead(replicas)`` walks the replica order — a per-replica
+    miss comes back as a 0-byte status and advances to the next
+    candidate, only an exhausted order returns 0.
+    ``ReadWithFallback(replicas)`` runs the walk in a protected region
+    so a transport blow-up (``System.Net.*``) degrades to 0 bytes
+    instead of unwinding the caller.  ``ReplicateWrite(replicas)``
+    drives every replica, counts acknowledgements, and commits the
+    tally — the replicate-before-ack shape the sanitizer's protocol
+    invariant checks dynamically.  ``Main`` drives both at R=3 and
+    accumulates into the ``Cluster::served_total`` static.
+    """
+    failover_read = (
+        MethodBuilder("FailoverRead", returns=True)
+        .arg("replicas").local("i").local("nbytes")
+        .ldc(0).stloc("i")
+        .label("top")
+        .ldloc("i").ldarg("replicas").clt().brfalse("miss")
+        .ldloc("i").call_intrinsic("Cluster.TryReadReplica", 1, True)
+        .stloc("nbytes")
+        .ldloc("nbytes").ldc(0).ceq().brfalse("hit")
+        .ldloc("i").ldc(1).add().stloc("i")
+        .br("top")
+        .label("hit")
+        .ldloc("nbytes").ret()
+        .label("miss")
+        .ldc(0).ret()
+        .build()
+    )
+    read_with_fallback = (
+        # The handler is entered with conservative (may-uninit) locals,
+        # so it touches none: it pops the exception and reports a
+        # degraded (0-byte) read.
+        MethodBuilder("ReadWithFallback", returns=True)
+        .arg("replicas").local("nbytes")
+        .begin_try()
+        .ldarg("replicas").call(failover_read).stloc("nbytes")
+        .end_try("degraded", catches="System.Net.")
+        .ldloc("nbytes").ret()
+        .label("degraded").pop()
+        .ldc(0).ret()
+        .build()
+    )
+    replicate_write = (
+        MethodBuilder("ReplicateWrite", returns=True)
+        .arg("replicas").local("i").local("acks")
+        .ldc(0).stloc("acks")
+        .ldc(0).stloc("i")
+        .label("top")
+        .ldloc("i").ldarg("replicas").clt().brfalse("commit")
+        .ldloc("i").call_intrinsic("Cluster.PostReplica", 1, True)
+        .ldloc("acks").add().stloc("acks")
+        .ldloc("i").ldc(1).add().stloc("i")
+        .br("top")
+        .label("commit")
+        .ldloc("acks").call_intrinsic("Cluster.Commit", 1, False)
+        .ldloc("acks").ret()
+        .build()
+    )
+    main = (
+        MethodBuilder("Main", returns=True)
+        .local("total")
+        .ldc(3).call(replicate_write)
+        .ldc(3).call(read_with_fallback)
+        .add().conv("i4").stloc("total")
+        .ldsfld("Cluster::served_total").ldloc("total").add()
+        .stsfld("Cluster::served_total")
+        .ldloc("total").ret()
+        .build()
+    )
+    ab = AssemblyBuilder("ClusterCoordinator")
+    for method in (failover_read, read_with_fallback, replicate_write, main):
+        ab.add_method("Coordinator", method)
+    return ab.build()
+
+
 #: name → builder for every bundled benchmark assembly.
 BUNDLED: Dict[str, Callable[[], AssemblyDef]] = {
     "microbench": build_microbench_assembly,
     "trace_replay": build_trace_replay_assembly,
     "webserver": build_webserver_assembly,
     "qcrd_cil": build_qcrd_cil_assembly,
+    "cluster": build_cluster_assembly,
 }
 
 

@@ -11,6 +11,7 @@
     python -m repro.bench --baseline-out BENCH_now.json  # gate snapshot
     python -m repro.bench ext_scale --wallclock-append BENCH_wallclock.jsonl
     python -m repro.bench ext_faults --telemetry-out series.jsonl
+    python -m repro.bench ext_cluster --sanitize     # race detector on
 
 Simulated metrics are deterministic, so ``--jobs N`` output is
 byte-identical to a serial run (wall seconds aside).  Tracing and
@@ -105,7 +106,24 @@ def main(argv=None) -> int:
         help="append one JSON line of per-experiment wall seconds to "
         "PATH (the committed BENCH_wallclock.jsonl trajectory)",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run under the happens-before race detector "
+        "(repro.sanitizer); simulated metrics are unchanged, exit "
+        "status 1 if any race is reported (forces --jobs 1)",
+    )
     args = parser.parse_args(argv)
+
+    detector = None
+    if args.sanitize:
+        from repro.sanitizer import enable
+
+        detector = enable()
+        if args.jobs != 1:
+            # The detector's clocks live in this process's engines.
+            print("sanitizer requested: forcing --jobs 1")
+            args.jobs = 1
 
     tracer = None
     if args.trace_out or args.trace_jsonl:
@@ -211,6 +229,13 @@ def main(argv=None) -> int:
         if args.trace_jsonl:
             n = write_jsonl(args.trace_jsonl, tracer)
             print(f"wrote {n} events to {args.trace_jsonl}")
+    if detector is not None:
+        from repro.sanitizer import disable
+
+        disable()
+        print(detector.format_report())
+        if detector.races:
+            return 1
     return 0
 
 

@@ -48,6 +48,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ClusterError
 from repro.io import Network
+from repro.sanitizer import runtime as _sanitizer
+from repro.sanitizer.race import shared
 from repro.sim import Counter, Engine
 
 from repro.cluster.hashring import HashRing
@@ -127,6 +129,14 @@ class LoadBalancer:
         self.on_readmit = on_readmit
         self._admitted = {n: True for n in self._names}
         self._in_sync = {n: True for n in self._names}
+        # Sanitizer annotations for the membership maps.  The control
+        # plane (probe-driven eject/readmit, repair completion) writes
+        # them relaxed — the protocol absorbs same-instant collisions
+        # with routing reads by re-reading every round — so a reported
+        # race always involves a *data-plane* mutation, which is the
+        # bug class (PR 8's write-across-readmit).
+        self._san_admitted = shared("balancer.admitted")
+        self._san_in_sync = shared("balancer.in_sync")
         self._fail_streak = {n: 0 for n in self._names}
         self._ok_streak = {n: 0 for n in self._names}
         self._in_flight = {n: 0 for n in self._names}
@@ -173,6 +183,9 @@ class LoadBalancer:
                                         cfg.probe_interval)
 
     def _eject(self, name: str) -> None:
+        if _sanitizer.active is not None:
+            self._san_admitted.write(self.engine, op="eject", relaxed=True)
+            self._san_in_sync.write(self.engine, op="eject", relaxed=True)
         self._admitted[name] = False
         self._in_sync[name] = False
         self.ejections[name].add()
@@ -185,6 +198,8 @@ class LoadBalancer:
         self._in_flight[name] = 0
 
     def _readmit(self, name: str) -> None:
+        if _sanitizer.active is not None:
+            self._san_admitted.write(self.engine, op="readmit", relaxed=True)
         self._admitted[name] = True
         tracer = self.engine.tracer
         if tracer.enabled:
@@ -193,21 +208,35 @@ class LoadBalancer:
             self.on_readmit(name)
         else:
             # Nobody to re-replicate: trust the node as-is.
+            if _sanitizer.active is not None:
+                self._san_in_sync.write(self.engine, op="readmit",
+                                        relaxed=True)
             self._in_sync[name] = True
 
     def mark_in_sync(self, name: str) -> None:
         """Repair finished: the node may serve reads again."""
+        if _sanitizer.active is not None:
+            # Repair completion is control-plane: a read racing the
+            # mark sees the node either way, both outcomes are legal.
+            self._san_in_sync.write(self.engine, op="mark_in_sync",
+                                    relaxed=True)
         self._in_sync[name] = True
 
     # -- health introspection ---------------------------------------------
 
     def is_admitted(self, name: str) -> bool:
+        if _sanitizer.active is not None:
+            self._san_admitted.read(self.engine, op="is_admitted")
         return self._admitted[name]
 
     def is_in_sync(self, name: str) -> bool:
+        if _sanitizer.active is not None:
+            self._san_in_sync.read(self.engine, op="is_in_sync")
         return self._admitted[name] and self._in_sync[name]
 
     def healthy_nodes(self) -> List[str]:
+        if _sanitizer.active is not None:
+            self._san_admitted.read(self.engine, op="healthy_nodes")
         return [n for n in self._names if self._admitted[n]]
 
     def is_fully_replicated(self, key: str) -> bool:
@@ -226,6 +255,8 @@ class LoadBalancer:
         """Admitted replicas — every one of them must take the write.
         Rebuilding members are included: new writes keep them from
         falling further behind while repair drains the backlog."""
+        if _sanitizer.active is not None:
+            self._san_admitted.read(self.engine, op="write_targets")
         return [n for n in self.replicas(key) if self._admitted[n]]
 
     def read_order(self, key: str) -> List[str]:

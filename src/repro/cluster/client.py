@@ -119,6 +119,11 @@ class ClusterClient:
                     self.balancer.note_done(name)
                 if result.status == 200:
                     self.balancer.note_served(name)
+                    tracer = self.engine.tracer
+                    if tracer.enabled:
+                        tracer.instant("cluster.serve", "cluster", key=key,
+                                       node=name, kind="read",
+                                       bytes=result.body_bytes)
                     return result
                 last = HttpError(result.status,
                                  f"GET {key} -> {result.status} from {name}")
@@ -161,6 +166,11 @@ class ClusterClient:
                         if result.status == 201:
                             succeeded.append(name)
                             self.balancer.note_served(name)
+                            tracer = self.engine.tracer
+                            if tracer.enabled:
+                                tracer.instant("cluster.replica_ack",
+                                               "cluster", key=key, node=name,
+                                               version=version)
                         else:
                             failed.append(name)
                             self._replica_failed(key, name, HttpError(
@@ -178,7 +188,7 @@ class ClusterClient:
                 # misses these bytes.  No yield separates the final
                 # empty check from the commit, so admission cannot
                 # change in between.
-                pending = [
+                pending = [  # sanitizer: allow (refreshed every round)
                     n for n in self.balancer.replicas(key)
                     if self.balancer.is_admitted(n) and n not in succeeded
                 ]

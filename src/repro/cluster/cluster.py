@@ -171,6 +171,12 @@ class FileCluster:
             on_readmit=self._on_readmit,
         )
         self.log = ReplicationLog()
+        # The commit instant is emitted from the log's own callback
+        # with a *fresh* read of the admitted set — the sanitizer's
+        # replicate-before-ack invariant checks acks against what was
+        # admitted at the moment the log accepted the commit, not
+        # against whatever set the writer happened to cache.
+        self.log.on_commit = self._note_commit
         reg = self.engine.metrics
         self.requests = Counter("cluster.requests")
         self.degraded = Counter("cluster.degraded")
@@ -201,7 +207,9 @@ class FileCluster:
             yield from node.start()
         for key in self.keys:
             size = base_size(key)
-            replicas = self.balancer.replicas(key)
+            # The ring is fixed at construction: placement, unlike
+            # health state, cannot change across the creates.
+            replicas = self.balancer.replicas(key)  # sanitizer: allow
             for name in replicas:
                 node = self.nodes[name]
                 yield from node.fs.create(node.key_path(key),
@@ -215,6 +223,16 @@ class FileCluster:
         """The shared coordinator (all callers see one lock table)."""
         return self.cluster_client
 
+    # -- protocol trace ----------------------------------------------------
+
+    def _note_commit(self, key: str, version: int, size: int) -> None:
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "cluster.commit", "cluster", key=key, version=version,
+                size=size,
+                admitted=",".join(self.balancer.write_targets(key)))
+
     # -- repair ------------------------------------------------------------
 
     def _on_readmit(self, name: str) -> None:
@@ -225,7 +243,9 @@ class FileCluster:
     def _rebuild(self, node: ClusterNode):
         """Foreground process: re-replicate ``node``'s stale shards,
         then mark it in sync (``node.up``)."""
-        stale = [
+        # The scan is deliberately a snapshot: every key it lists is
+        # re-validated under its write lock before any bytes move.
+        stale = [  # sanitizer: allow
             key for key in self.log.keys()
             if node.name in self.log.replicas_of(key)
             and node.stored_size(key) != self.log.expected_size(key)

@@ -21,7 +21,7 @@ write on an in-sync member.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ClusterError
 
@@ -56,6 +56,11 @@ class ReplicationLog:
         self._entries: Dict[str, _Entry] = {}
         #: Total acknowledged writes (bootstrap excluded).
         self.acked_writes = 0
+        #: Called as ``on_commit(key, version, size)`` after each commit
+        #: is recorded.  The cluster hangs its trace emission here, so
+        #: the ``cluster.commit`` event reflects what the log actually
+        #: accepted — a misbehaving client cannot fake it.
+        self.on_commit: Optional[Callable[[str, int, int], None]] = None
 
     def bootstrap(self, key: str, size: int,
                   replicas: Tuple[str, ...], now: float = 0.0) -> None:
@@ -83,6 +88,8 @@ class ReplicationLog:
         entry.acked_at = now
         entry.replicas = tuple(replicas)
         self.acked_writes += 1
+        if self.on_commit is not None:
+            self.on_commit(key, version, size)
 
     def _entry(self, key: str) -> _Entry:
         try:

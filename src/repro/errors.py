@@ -39,6 +39,7 @@ __all__ = [
     "OperationTimeout",
     "ClusterError",
     "NoReplicasAvailable",
+    "SanitizerError",
 ]
 
 
@@ -221,3 +222,12 @@ class ClusterError(ReproError):
 
 class NoReplicasAvailable(ClusterError):
     """Every replica of a key is down, ejected, or still rebuilding."""
+
+
+# --------------------------------------------------------------------------
+# Concurrency sanitizer
+# --------------------------------------------------------------------------
+
+class SanitizerError(ReproError):
+    """Misuse of the concurrency sanitizer (enabling twice, checking an
+    unreadable trace, unknown invariant name, ...)."""

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.errors import StorageError
+from repro.sanitizer import runtime as _sanitizer
+from repro.sanitizer.race import shared
 from repro.sim import Engine
 from repro.sim.event import Event
 
@@ -132,6 +134,14 @@ class BufferCache:
         self._dirty_by_file: Dict[int, set] = {}
         self._policy = make_eviction_policy(self.params.eviction)
         self._inflight: Dict[Tuple[int, int], Event] = {}
+        # Sanitizer annotation for the page map.  Internal operations
+        # access it relaxed: the cache's contract is that the map may
+        # change across any wait and every consumer must re-validate
+        # residency after resuming (the stale-read lint enforces that
+        # discipline; the ``access()`` hit path re-checks explicitly).
+        # Public introspection reads are strict, so outside code that
+        # *mutates* cache state in a race with the engine shows up.
+        self._san_pages = shared("cache.pages")
         self.stats = CacheStats()
         engine.metrics.register("cache.stats", self.stats)
         engine.metrics.gauge("cache.resident_pages", lambda: len(self._pages))
@@ -140,12 +150,18 @@ class BufferCache:
 
     @property
     def resident_pages(self) -> int:
+        if _sanitizer.active is not None:
+            self._san_pages.read(self.engine, op="resident_pages")
         return len(self._pages)
 
     def is_resident(self, inode: "Inode", page: int) -> bool:
+        if _sanitizer.active is not None:
+            self._san_pages.read(self.engine, op="is_resident")
         return (inode.file_id, page) in self._pages
 
     def is_dirty(self, inode: "Inode", page: int) -> bool:
+        if _sanitizer.active is not None:
+            self._san_pages.read(self.engine, op="is_dirty")
         return self._pages.get((inode.file_id, page)) is PageState.DIRTY
 
     def is_inflight(self, inode: "Inode", page: int) -> bool:
@@ -169,6 +185,8 @@ class BufferCache:
         """
         if npages < 1:
             raise StorageError(f"npages must be >= 1, got {npages}")
+        if _sanitizer.active is not None:
+            self._san_pages.read(self.engine, op="access", relaxed=True)
         pages = self._pages
         fid = inode.file_id
         if all((fid, p) in pages for p in range(first_page, first_page + npages)):
@@ -199,20 +217,25 @@ class BufferCache:
 
         for page in range(first_page, first_page + npages):
             key = (inode.file_id, page)
-            if key in self._pages:
+            if key in self._pages or key in self._inflight:
                 yield from flush_run(page)
-                self._policy.on_access(key)
-                self.stats.hits += 1
-                hits += 1
-            elif key in self._inflight:
-                yield from flush_run(page)
-                self.stats.inflight_waits += 1
-                waits.append(self._inflight[key])
-            else:
-                if run_start is None:
-                    run_start = page
-                self.stats.misses += 1
-                misses += 1
+                # Re-check after the fetch: publishing the preceding
+                # run can evict this very page (or complete/fail its
+                # in-flight fetch), so the pre-yield residency test is
+                # stale by the time we are back.
+                if key in self._pages:
+                    self._policy.on_access(key)
+                    self.stats.hits += 1
+                    hits += 1
+                    continue
+                if key in self._inflight:
+                    self.stats.inflight_waits += 1
+                    waits.append(self._inflight[key])
+                    continue
+            if run_start is None:
+                run_start = page
+            self.stats.misses += 1
+            misses += 1
         yield from flush_run(first_page + npages)
         for ev in waits:
             if not ev.processed:
@@ -414,6 +437,8 @@ class BufferCache:
         """Drop every resident page of ``inode`` (dirty pages are lost —
         callers flush first).  Returns the number of pages dropped."""
         fid = inode.file_id
+        if _sanitizer.active is not None:
+            self._san_pages.write(self.engine, op="invalidate", relaxed=True)
         victims = [(fid, p) for p in self._file_pages.get(fid, ())]
         for key in victims:
             del self._pages[key]
@@ -425,6 +450,8 @@ class BufferCache:
     def drop_page(self, inode: "Inode", page: int) -> None:
         """Drop one resident page without writeback (truncate path)."""
         key = (inode.file_id, page)
+        if _sanitizer.active is not None:
+            self._san_pages.write(self.engine, op="drop", relaxed=True)
         del self._pages[key]
         self._policy.on_remove(key)
         self._drop_from_indexes(key)
@@ -468,6 +495,8 @@ class BufferCache:
         self.engine.process(writer(), name=f"writeback[{inode.file_id}]", daemon=True)
 
     def _insert(self, key: Tuple[int, int], state: PageState) -> None:
+        if _sanitizer.active is not None:
+            self._san_pages.write(self.engine, op="insert", relaxed=True)
         if key in self._pages:
             # Upgrade clean → dirty, never silently downgrade.
             if state is PageState.DIRTY or self._pages[key] is PageState.CLEAN:
@@ -485,6 +514,8 @@ class BufferCache:
         self._policy.on_insert(key)
 
     def _evict_one(self) -> None:
+        if _sanitizer.active is not None:
+            self._san_pages.write(self.engine, op="evict", relaxed=True)
         victim_key = self._policy.victim()
         victim_state = self._pages.pop(victim_key)
         self._drop_from_indexes(victim_key)

@@ -17,6 +17,8 @@ import itertools
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ConnectionReset, SimulationError
+from repro.sanitizer import runtime as _sanitizer
+from repro.sanitizer.race import shared
 from repro.sim import Channel, Engine, Store
 from repro.units import MB
 
@@ -94,7 +96,14 @@ class Network:
         if (host, port) in self._blocked:
             return False
         listener = self._listeners.get((host, port))
-        return listener is not None and listener.listening
+        if listener is None:
+            return False
+        if _sanitizer.active is not None:
+            # Probes race with crash/restart by design: the balancer's
+            # streak thresholds absorb a stale answer, so the read is
+            # relaxed (it must not count as a data conflict).
+            listener._san_state.read(self.engine, op="probe", relaxed=True)
+        return listener._listening
 
     def connect(self, host: str, port: int):
         """Generator: open a connection to a listening endpoint.
@@ -114,7 +123,12 @@ class Network:
                 tracer.instant("net.unreachable", "net", host=host, port=port)
             raise ConnectionReset(f"host unreachable: no route to {key}")
         listener = self._listeners.get(key)
-        if listener is None or not listener.listening:
+        if _sanitizer.active is not None and listener is not None:
+            # A connect colliding with a same-instant stop/start is
+            # resolved by the retry policy (the client sees a refused/
+            # reset and tries again) — tolerated, hence relaxed.
+            listener._san_state.read(self.engine, op="connect", relaxed=True)
+        if listener is None or not listener._listening:
             raise SimulationError(f"connection refused: no listener at {key}")
         yield self.engine.timeout(2 * self.latency + self.connect_overhead)
         if (listener.backlog_limit is not None
@@ -147,26 +161,44 @@ class TcpListener:
         self.network = network
         self.host = host
         self.port = port
-        self.listening = False
+        self._listening = False
         self.backlog_limit = backlog_limit
         self.refused = 0
         self._ever_started = False
         self._backlog: Store = Store(network.engine, name=f"backlog:{host}:{port}")
+        #: Sanitizer annotation for the listener's lifecycle state.
+        #: ``start``/``stop`` write it; remote control-plane observers
+        #: (probes, connects, accept re-entry) read it relaxed, while
+        #: the public :attr:`listening` property reads it plainly — so
+        #: server code that snapshots the flag across a wait shows up
+        #: as a data conflict with a same-instant crash.
+        self._san_state = shared(f"listener:{host}:{port}")
+
+    @property
+    def listening(self) -> bool:
+        """True while the listener accepts new connections."""
+        if _sanitizer.active is not None:
+            self._san_state.read(self.network.engine, op="listening")
+        return self._listening
 
     def start(self) -> None:
         """Begin accepting connections (registers the address)."""
-        if self.listening:
+        if self._listening:
             return
         self.network._register(self)
-        self.listening = True
+        if _sanitizer.active is not None:
+            self._san_state.write(self.network.engine, op="start")
+        self._listening = True
         self._ever_started = True
 
     def stop(self) -> None:
         """Stop accepting; queued connections remain acceptable."""
-        if not self.listening:
+        if not self._listening:
             return
         self.network._unregister(self)
-        self.listening = False
+        if _sanitizer.active is not None:
+            self._san_state.write(self.network.engine, op="stop")
+        self._listening = False
 
     @property
     def pending(self) -> int:
@@ -193,6 +225,12 @@ class TcpListener:
         that was never started is a programming error."""
         if not self._ever_started:
             raise SimulationError("accept on a listener that was never started")
+        if _sanitizer.active is not None:
+            # Accept re-entry on a stopped listener is the *fixed*
+            # behavior (park, don't die) — observing the state here is
+            # tolerated by construction.
+            self._san_state.read(self.network.engine, op="accept",
+                                 relaxed=True)
         sock = yield self._backlog.get()
         return sock
 

@@ -1,0 +1,31 @@
+"""The sanitizer's on/off switch, isolated for import cheapness.
+
+Every instrumented simulation primitive guards its hook with::
+
+    from repro.sanitizer import runtime as _sanitizer
+    ...
+    if _sanitizer.active is not None:
+        _sanitizer.active.on_trigger(self)
+
+so the disabled cost is one module-attribute load and an ``is None``
+compare — the same zero-overhead pattern as ``tracer.enabled``.  This
+module holds *only* the global slot (no simulation imports), so the
+kernel modules can import it without cycles.
+
+``active`` is managed by :func:`repro.sanitizer.enable` /
+:func:`repro.sanitizer.disable` / the :func:`repro.sanitizer.sanitized`
+context manager; set it directly only in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sanitizer.race import RaceDetector
+
+__all__ = ["active"]
+
+#: The currently enabled :class:`~repro.sanitizer.race.RaceDetector`,
+#: or ``None`` (the default — all hooks are dormant).
+active: Optional["RaceDetector"] = None

@@ -12,6 +12,7 @@ from heapq import heappush
 from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.sanitizer import runtime as _sanitizer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Engine
@@ -41,7 +42,11 @@ class Event:
         ``None`` once the event has been processed.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok")
+    # ``_vc`` is the sanitizer's happens-before edge: the triggering
+    # context's vector clock, stamped at ``succeed``/``fail`` time and
+    # joined into each waiter when it resumes.  The slot stays unset
+    # (not even None) unless a detector is active.
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_vc")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -86,6 +91,8 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
+        if _sanitizer.active is not None:
+            _sanitizer.active.on_trigger(self)
         engine = self.engine
         engine._seq += 1
         heappush(engine._queue, (engine._now, engine._seq, 1, self))
@@ -99,6 +106,8 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._ok = False
         self._value = exception
+        if _sanitizer.active is not None:
+            _sanitizer.active.on_trigger(self)
         engine = self.engine
         engine._seq += 1
         heappush(engine._queue, (engine._now, engine._seq, 1, self))
@@ -144,6 +153,10 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         self.delay = delay
+        if _sanitizer.active is not None:
+            # The creator's clock is the timeout's trigger clock: a
+            # Timeout never calls succeed(), its value is set here.
+            _sanitizer.active.on_trigger(self)
         engine._seq += 1
         heappush(
             engine._queue,
@@ -186,6 +199,11 @@ class AllOf(_Condition):
     __slots__ = ()
 
     def _check(self, event: Event) -> None:
+        if _sanitizer.active is not None:
+            # Callbacks run in the engine's drain loop (root context),
+            # so child clocks must be accumulated explicitly for the
+            # condition's eventual trigger to order after every child.
+            _sanitizer.active.on_condition(self, event)
         if self.triggered:
             return
         if not event.ok:
@@ -207,6 +225,8 @@ class AnyOf(_Condition):
     __slots__ = ()
 
     def _check(self, event: Event) -> None:
+        if _sanitizer.active is not None:
+            _sanitizer.active.on_condition(self, event)
         if self.triggered:
             return
         if not event.ok:

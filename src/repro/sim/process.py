@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Generator, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
+from repro.sanitizer import runtime as _sanitizer
 from repro.sim.event import Event, PENDING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -28,7 +29,9 @@ class Process(Event):
     except in tests.
     """
 
-    __slots__ = ("generator", "name", "daemon", "_waiting_on")
+    # ``_san_ctx`` holds the sanitizer's per-process vector-clock
+    # context; the slot stays unset unless a detector is active.
+    __slots__ = ("generator", "name", "daemon", "_waiting_on", "_san_ctx")
 
     def __init__(
         self,
@@ -50,6 +53,8 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         if not daemon:
             engine._live_processes += 1
+        if _sanitizer.active is not None:
+            _sanitizer.active.on_spawn(self, self.name)
         # Kick off at the current time.
         engine._schedule_call(self._resume_first)
 
@@ -65,6 +70,8 @@ class Process(Event):
 
     def _on_event(self, event: Event) -> None:
         self._waiting_on = None
+        if _sanitizer.active is not None:
+            _sanitizer.active.on_wakeup(self, event)
         if event.ok:
             self._step(event.value, None)
         else:
@@ -78,34 +85,40 @@ class Process(Event):
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         if not self.is_alive:  # pragma: no cover - defensive
             return
+        det = _sanitizer.active
+        prev = det.enter(self) if det is not None else None
         try:
-            if exc is None:
-                target = self.generator.send(value)
-            else:
-                target = self.generator.throw(exc)
-        except StopIteration as stop:
-            self._retire()
-            self.succeed(stop.value)
-            return
-        except BaseException as error:
-            self._retire()
-            self.fail(error)
-            return
+            try:
+                if exc is None:
+                    target = self.generator.send(value)
+                else:
+                    target = self.generator.throw(exc)
+            except StopIteration as stop:
+                self._retire()
+                self.succeed(stop.value)
+                return
+            except BaseException as error:
+                self._retire()
+                self.fail(error)
+                return
 
-        if not isinstance(target, Event):
-            self._retire()
-            bad = SimulationError(
-                f"process {self.name!r} yielded {target!r}; "
-                "processes must yield Event instances"
-            )
-            self.fail(bad)
-            return
-        if target.engine is not self.engine:
-            self._retire()
-            self.fail(SimulationError("yielded an event from a different engine"))
-            return
-        self._waiting_on = target
-        target.add_callback(self._on_event)
+            if not isinstance(target, Event):
+                self._retire()
+                bad = SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event instances"
+                )
+                self.fail(bad)
+                return
+            if target.engine is not self.engine:
+                self._retire()
+                self.fail(SimulationError("yielded an event from a different engine"))
+                return
+            self._waiting_on = target
+            target.add_callback(self._on_event)
+        finally:
+            if det is not None:
+                det.leave(prev)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "alive" if self.is_alive else ("ok" if self._ok else "failed")

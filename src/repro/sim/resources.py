@@ -20,6 +20,7 @@ from collections import deque
 from typing import Any, Deque, Optional
 
 from repro.errors import SimulationError
+from repro.sanitizer import runtime as _sanitizer
 from repro.sim.engine import Engine
 from repro.sim.event import Event
 from repro.sim.stats import TimeWeighted
@@ -140,14 +141,24 @@ class Store:
     def put(self, item: Any) -> None:
         """Deposit an item, waking the oldest waiting getter if any."""
         if self._getters:
+            # Hand-off through the getter's event: the sanitizer edge
+            # rides succeed() for free.
             self._getters.popleft().succeed(item)
         else:
+            if _sanitizer.active is not None:
+                # Buffered: stash the putter's clock alongside the item
+                # so the eventual getter inherits the edge.
+                _sanitizer.active.on_store_put(self)
             self._items.append(item)
 
     def get(self) -> Event:
         """Event that succeeds with the next item (immediately if buffered)."""
         ev = Event(self.engine)
         if self._items:
+            if _sanitizer.active is not None:
+                # Join the buffered putter's clock into the getter
+                # *before* succeed() stamps the trigger clock.
+                _sanitizer.active.on_store_get(self)
             ev.succeed(self._items.popleft())
         else:
             self._getters.append(ev)
@@ -161,6 +172,8 @@ class Store:
         node flushing its accept backlog) that must dispose of queued
         items without waking consumers.
         """
+        if _sanitizer.active is not None:
+            _sanitizer.active.on_store_drain(self)
         items = list(self._items)
         self._items.clear()
         return items

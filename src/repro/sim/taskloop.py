@@ -33,6 +33,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.sanitizer import runtime as _sanitizer
 from repro.sim.event import Event
 
 __all__ = ["Task", "TaskLoop"]
@@ -47,7 +48,7 @@ class Task:
     """
 
     __slots__ = ("generator", "label", "done", "ok", "result", "error",
-                 "_done_callbacks")
+                 "_done_callbacks", "_san_ctx")
 
     def __init__(self, generator: Generator[Event, Any, Any],
                  label: Optional[str] = None) -> None:
@@ -133,6 +134,8 @@ class TaskLoop:
         """Schedule a new task; it first runs when the loop next drains
         its ready queue (same timestamp, FIFO order)."""
         task = Task(generator, label)
+        if _sanitizer.active is not None:
+            _sanitizer.active.on_spawn(task, task.label)
         self._live += 1
         self.tasks_spawned += 1
         if self._live > self.peak_live:
@@ -173,29 +176,37 @@ class TaskLoop:
     def _step(self, task: Task, value: Any,
               exc: Optional[BaseException]) -> None:
         """Advance one task until it blocks on an event or finishes."""
+        det = _sanitizer.active
+        prev = det.enter(task) if det is not None else None
         try:
-            if exc is None:
-                target = task.generator.send(value)
-            else:
-                target = task.generator.throw(exc)
-        except StopIteration as stop:
-            self._finish(task, stop.value, None)
-            return
-        except BaseException as error:
-            self._finish(task, None, error)
-            return
-        if not isinstance(target, Event):
-            self._finish(task, None, SimulationError(
-                f"task {task.label!r} yielded {target!r}; "
-                "tasks must yield Event instances"))
-            return
-        if target.engine is not self.engine:
-            self._finish(task, None, SimulationError(
-                f"task {task.label!r} yielded an event from a different engine"))
-            return
-        target.add_callback(lambda ev, t=task: self._resume(t, ev))
+            try:
+                if exc is None:
+                    target = task.generator.send(value)
+                else:
+                    target = task.generator.throw(exc)
+            except StopIteration as stop:
+                self._finish(task, stop.value, None)
+                return
+            except BaseException as error:
+                self._finish(task, None, error)
+                return
+            if not isinstance(target, Event):
+                self._finish(task, None, SimulationError(
+                    f"task {task.label!r} yielded {target!r}; "
+                    "tasks must yield Event instances"))
+                return
+            if target.engine is not self.engine:
+                self._finish(task, None, SimulationError(
+                    f"task {task.label!r} yielded an event from a different engine"))
+                return
+            target.add_callback(lambda ev, t=task: self._resume(t, ev))
+        finally:
+            if det is not None:
+                det.leave(prev)
 
     def _resume(self, task: Task, event: Event) -> None:
+        if _sanitizer.active is not None:
+            _sanitizer.active.on_wakeup(task, event)
         if event.ok:
             self._ready.append((task, event.value, None))
         else:

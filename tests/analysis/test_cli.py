@@ -29,6 +29,19 @@ def test_all_bundled_assemblies_are_error_free():
     assert "0 error" in out
 
 
+def test_cluster_corpus_shape_and_cleanliness():
+    from repro.analysis.driver import analyze_assembly
+    from repro.analysis.targets import bundled_assembly
+
+    asm = bundled_assembly("cluster")
+    methods = sorted(m for t in asm.types.values() for m in t.methods)
+    assert methods == ["FailoverRead", "Main", "ReadWithFallback",
+                       "ReplicateWrite"]
+    analysis = analyze_assembly(asm)
+    diags = [d for m in analysis.methods for d in m.diagnostics]
+    assert diags == []
+
+
 def test_json_output_is_byte_identical_across_runs():
     code1, out1, _ = run_cli(["--all", "--format", "json"])
     code2, out2, _ = run_cli(["--all", "--format", "json"])

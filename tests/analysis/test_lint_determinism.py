@@ -108,6 +108,35 @@ def test_sorted_iteration_over_id_keyed_dict_ok(tmp_path):
     assert found == []
 
 
+def test_file_pragma_allows_whole_file(tmp_path):
+    found = findings_for(tmp_path, (
+        "# det: allow-file - wall-clock shim by design\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.perf_counter()\n"
+    ))
+    assert found == []
+
+
+def test_json_format_emits_findings_list(tmp_path, capsys):
+    import json
+
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("import time\nt = time.time()\n")
+    assert lint_determinism.main([str(dirty), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["findings"]) == 1
+    finding = payload["findings"][0]
+    assert finding["line"] == 2
+    assert "wall-clock" in finding["message"]
+    assert finding["path"].endswith("dirty.py")
+
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint_determinism.main([str(clean), "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out) == {"findings": []}
+
+
 def test_cli_main_exit_codes(tmp_path, capsys):
     clean = tmp_path / "clean.py"
     clean.write_text("x = 1\n")

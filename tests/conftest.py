@@ -1,0 +1,24 @@
+"""Suite-wide fixtures.
+
+``REPRO_SANITIZE=1`` runs every test under its own happens-before race
+detector (``repro.sanitizer``) and fails the test if any annotated
+shared access raced.  Tests that *construct* races on purpose do so
+inside a nested ``sanitized()`` block, which shadows the suite
+detector for its duration — so the gate stays clean while the
+deliberate races stay observable.
+"""
+
+import os
+
+import pytest
+
+_SANITIZE = os.environ.get("REPRO_SANITIZE") == "1"
+
+
+@pytest.fixture(autouse=_SANITIZE)
+def _race_detector():
+    from repro.sanitizer import sanitized
+
+    with sanitized() as det:
+        yield det
+    assert det.races == [], det.format_report()

@@ -1,0 +1,70 @@
+"""Reintroduced PR 8 concurrency bugs, kept as sanitizer fixtures.
+
+Both bugs were found and fixed in the cluster PR; they live on here in
+their original shape so the sanitizer's three checkers are each pinned
+against a *real* defect from this codebase's history:
+
+* :func:`stale_accept_loop` — the stopped-listener bug: the accept
+  loop snapshots ``listener.listening`` once and trusts the local
+  across every accept wait, so a same-instant crash is a data race on
+  the listener state (and the stale flag survives a stop).
+* :func:`no_redrive_put` — the write-across-readmit bug: the
+  replicated write computes the admitted set once and never re-reads
+  it, so a replica readmitted while a POST is in flight is committed
+  against without ever acking (a ``replicate_before_ack`` violation).
+
+This module is linted by the tests as data — it must NOT carry
+``sanitizer: allow`` pragmas, and it is deliberately outside the
+``src/`` tree the CI lint sweeps.
+"""
+
+from repro.cluster.replication import base_size
+
+
+# -- fixture A: the stopped-listener accept loop ----------------------------
+
+def stale_accept_loop(listener, handled):
+    """BUG: caches ``listener.listening`` across the accept wait."""
+    live = listener.listening
+    while True:
+        sock = yield from listener.accept_socket()
+        if not live:
+            break
+        handled.append(sock)
+
+
+def parked_accept_loop(listener, handled):
+    """FIX (production shape): never snapshot the flag — accept parks
+    on a stopped listener and resumes when it restarts."""
+    while True:
+        sock = yield from listener.accept_socket()
+        handled.append(sock)
+
+
+# -- fixture B: the no-re-drive replicated write ----------------------------
+
+def no_redrive_put(client, key):
+    """BUG: computes the admitted set once, never re-reads it, and
+    commits against whatever the balancer says *at commit time*."""
+    lock = client.lock_for(key)
+    grant = lock.acquire()
+    yield grant
+    try:
+        version = client.log.next_version(key)
+        size = base_size(key) + version
+        pending = client.balancer.write_targets(key)
+        acked = 0
+        while acked < len(pending):
+            name = pending[acked]
+            result = yield from client._http[name].post(key, size)
+            if result.status == 201:
+                tracer = client.engine.tracer
+                if tracer.enabled:
+                    tracer.instant("cluster.replica_ack", "cluster",
+                                   key=key, node=name, version=version)
+            acked += 1
+        client.log.commit(key, version, size,
+                          replicas=tuple(client.balancer.replicas(key)),
+                          now=client.engine.now)
+    finally:
+        lock.release(grant)

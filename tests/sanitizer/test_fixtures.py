@@ -1,0 +1,123 @@
+"""The sanitizer vs. the two real PR 8 bugs (kept in fixtures.py).
+
+Each bug is pinned three ways where applicable: the static lint flags
+its shape, the dynamic checker (race detector or invariant machine)
+catches it in a live run, and the *fixed* production shape passes the
+same scenario clean.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.staleread import lint_file
+from repro.cluster import ClusterConfig, FileCluster
+from repro.errors import DeadlockError
+from repro.io.net import Network, TcpListener
+from repro.obs import Tracer
+from repro.sanitizer import sanitized
+from repro.sanitizer.invariants import check_events
+from repro.sim import Engine
+
+from . import fixtures
+
+FIXTURES = Path(fixtures.__file__)
+
+
+# -- static: the lint flags both bugs ---------------------------------------
+
+def test_lint_flags_both_fixture_bugs():
+    findings = lint_file(FIXTURES)
+    assert [(f.local, f.rule, f.shared_expr) for f in findings] == [
+        ("live", "R1:linear", "listener.listening"),
+        ("pending", "R3:pre-loop-snapshot", "client.balancer.write_targets"),
+        ("pending", "R3:pre-loop-snapshot", "client.balancer.write_targets"),
+    ]
+
+
+def test_lint_does_not_flag_the_fixed_accept_loop():
+    source = FIXTURES.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    start = next(i for i, text in enumerate(lines, start=1)
+                 if text.startswith("def parked_accept_loop"))
+    end = next(i for i, text in enumerate(lines, start=1)
+               if i > start and text.startswith("def "))
+    for finding in lint_file(FIXTURES):
+        assert not start <= finding.line < end, finding
+
+
+# -- dynamic, fixture A: stale accept loop vs same-instant stop -------------
+
+def _run_accept_scenario(loop_fn):
+    with sanitized() as det:
+        eng = Engine()
+        net = Network(eng)
+        listener = TcpListener(net, "srv", 80)
+        listener.start()
+        handled = []
+        eng.process(loop_fn(listener, handled))
+
+        def crasher():
+            listener.stop()
+            yield eng.timeout(0)
+
+        eng.process(crasher())
+        # The accept loop parks forever on the stopped listener's empty
+        # backlog — that deadlock IS the quiescent end state here.
+        with pytest.raises(DeadlockError):
+            eng.run()
+    return det
+
+
+def test_stale_accept_loop_races_with_a_same_instant_stop():
+    det = _run_accept_scenario(fixtures.stale_accept_loop)
+    assert det.races, "the cached-flag read must race the stop"
+    ops = {det.races[0].first.op, det.races[0].second.op}
+    assert ops == {"listening", "stop"}
+
+
+def test_parked_accept_loop_is_race_free_in_the_same_scenario():
+    det = _run_accept_scenario(fixtures.parked_accept_loop)
+    assert det.races == []
+
+
+# -- dynamic, fixture B: write-across-readmit vs the invariant checker ------
+
+def _run_readmit_scenario(put_fn):
+    """Crash a replica, start a write while it is ejected, recover it
+    so probes readmit it mid-POST.  Returns the trace events."""
+    tracer = Tracer()
+    cluster = FileCluster(ClusterConfig(
+        nodes=3, replication=2, num_keys=4, tracer=tracer))
+    client = cluster.client()
+    eng = cluster.engine
+    key = cluster.keys[0]
+    victim = cluster.balancer.replicas(key)[-1]
+    # Slow the LAN so one POST spans the whole readmission window
+    # (~3.6 KB at 20 KB/s vs. 2 probes at 20 ms).
+    cluster.network.bandwidth = 20_000.0
+
+    def scenario():
+        cluster.nodes[victim].crash()
+        while cluster.balancer.is_admitted(victim):
+            yield eng.timeout(0.01)
+        writer = eng.process(put_fn(client, key))
+        yield eng.timeout(0.005)
+        cluster.nodes[victim].recover()
+        yield writer
+
+    eng.run_process(scenario())
+    assert cluster.balancer.is_admitted(victim), "victim must readmit"
+    return tracer.events, victim
+
+
+def test_no_redrive_put_commits_past_an_unacked_readmitted_replica():
+    events, victim = _run_readmit_scenario(fixtures.no_redrive_put)
+    violations = check_events(events)
+    assert [v.invariant for v in violations] == ["replicate_before_ack"]
+    assert victim in violations[0].message
+
+
+def test_production_put_re_drives_the_readmitted_replica_clean():
+    events, _ = _run_readmit_scenario(lambda client, key: client.put(key))
+    assert check_events(events) == []

@@ -1,0 +1,222 @@
+"""The happens-before race detector: what races, and what does not."""
+
+from repro.sanitizer import disable, enable, sanitized, shared
+from repro.sanitizer import runtime
+from repro.sim import Engine, Event, Store
+
+
+def run_two(body_a, body_b):
+    """Run two root-spawned sibling processes under a fresh detector."""
+    with sanitized() as det:
+        eng = Engine()
+        var = shared("spot")
+        eng.process(body_a(eng, var))
+        eng.process(body_b(eng, var))
+        eng.run()
+    return det
+
+
+def test_unordered_same_time_write_write_races():
+    def a(eng, var):
+        var.write(eng, op="a")
+        yield eng.timeout(1.0)
+
+    def b(eng, var):
+        var.write(eng, op="b")
+        yield eng.timeout(1.0)
+
+    det = run_two(a, b)
+    assert len(det.races) == 1
+    report = det.races[0]
+    assert report.var_name.startswith("spot#")
+    assert report.time == 0.0
+    assert {report.first.op, report.second.op} == {"a", "b"}
+
+
+def test_write_read_at_same_instant_races():
+    def a(eng, var):
+        var.write(eng, op="mutate")
+        yield eng.timeout(1.0)
+
+    def b(eng, var):
+        var.read(eng, op="peek")
+        yield eng.timeout(1.0)
+
+    det = run_two(a, b)
+    assert len(det.races) == 1
+
+
+def test_read_read_never_races():
+    def a(eng, var):
+        var.read(eng, op="a")
+        yield eng.timeout(1.0)
+
+    def b(eng, var):
+        var.read(eng, op="b")
+        yield eng.timeout(1.0)
+
+    assert run_two(a, b).races == []
+
+
+def test_distinct_timestamps_never_race():
+    # The engine orders distinct times deterministically; only
+    # same-instant conflicts are schedule-sensitive.
+    def a(eng, var):
+        var.write(eng, op="early")
+        yield eng.timeout(1.0)
+
+    def b(eng, var):
+        yield eng.timeout(0.5)
+        var.write(eng, op="late")
+
+    assert run_two(a, b).races == []
+
+
+def test_relaxed_access_suppresses_the_pair():
+    def a(eng, var):
+        var.write(eng, op="control-plane", relaxed=True)
+        yield eng.timeout(1.0)
+
+    def b(eng, var):
+        var.read(eng, op="probe")
+        yield eng.timeout(1.0)
+
+    assert run_two(a, b).races == []
+
+
+def test_spawn_edge_orders_parent_before_child():
+    with sanitized() as det:
+        eng = Engine()
+        var = shared("inherited")
+
+        def child():
+            var.write(eng, op="child")
+            yield eng.timeout(0)
+
+        def parent():
+            var.write(eng, op="parent")
+            eng.process(child())  # spawn edge: parent write precedes
+            yield eng.timeout(0)
+
+        eng.process(parent())
+        eng.run()
+    assert det.races == []
+
+
+def test_event_trigger_orders_producer_before_waiter():
+    with sanitized() as det:
+        eng = Engine()
+        var = shared("handoff")
+        gate = Event(eng)
+
+        def producer():
+            yield eng.timeout(0)
+            var.write(eng, op="produce")
+            gate.succeed(None)
+
+        def consumer():
+            yield gate
+            var.read(eng, op="consume")
+
+        eng.process(consumer())
+        eng.process(producer())
+        eng.run()
+    assert det.races == []
+
+
+def test_store_edge_orders_producer_before_consumer_same_instant():
+    with sanitized() as det:
+        eng = Engine()
+        var = shared("queued")
+        store = Store(eng)
+
+        def producer():
+            yield eng.timeout(1.0)
+            var.write(eng, op="fill")
+            store.put("x")
+
+        def consumer():
+            yield store.get()
+            var.read(eng, op="use")
+
+        eng.process(consumer())
+        eng.process(producer())
+        eng.run()
+    assert det.races == []
+
+
+def test_duplicate_pairs_report_once():
+    with sanitized() as det:
+        eng = Engine()
+        var = shared("repeat")
+
+        def a():
+            for _ in range(3):
+                var.write(eng, op="a")
+            yield eng.timeout(0)
+
+        def b():
+            for _ in range(3):
+                var.write(eng, op="b")
+            yield eng.timeout(0)
+
+        eng.process(a())
+        eng.process(b())
+        eng.run()
+    # Nine conflicting pairs, one distinct (site, op) signature.
+    assert len(det.races) == 1
+
+
+def test_format_report_mentions_both_contexts():
+    def a(eng, var):
+        var.write(eng, op="a")
+        yield eng.timeout(1.0)
+
+    def b(eng, var):
+        var.write(eng, op="b")
+        yield eng.timeout(1.0)
+
+    det = run_two(a, b)
+    text = det.format_report()
+    assert "race" in text
+    assert "write" in text
+    assert det.summary()["races"] == 1
+    assert det.summary()["accesses"] == 2
+
+
+def test_enable_disable_roundtrip():
+    prev = disable()  # tolerate a suite-wide REPRO_SANITIZE detector
+    try:
+        det = enable()
+        assert runtime.active is det
+        assert disable() is det
+        assert runtime.active is None
+    finally:
+        if prev is not None:
+            enable(prev)
+
+
+def test_sanitized_restores_previous_detector():
+    outer = enable()
+    try:
+        with sanitized() as inner:
+            assert runtime.active is inner
+            assert inner is not outer
+        assert runtime.active is outer
+    finally:
+        disable()
+
+
+def test_detector_off_means_zero_tracking():
+    prev = disable()  # tolerate a suite-wide REPRO_SANITIZE detector
+    try:
+        eng = Engine()
+        var = shared("idle")
+        var.read(eng, op="noop")  # no detector: annotation is inert
+        with sanitized() as det:
+            pass
+        assert det.accesses == 0
+        assert det.races == []
+    finally:
+        if prev is not None:
+            enable(prev)

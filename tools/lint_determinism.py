@@ -24,24 +24,29 @@ break that contract, so this lint walks the Python AST of
 
 Deliberate wall-clock instrumentation (the bench runner's wall-time
 measurements) is allowlisted per line with a ``# det: allow`` comment;
-every such pragma should say *why* next to it.
+every such pragma should say *why* next to it.  A file whose whole
+purpose is nondeterministic (e.g. a wall-clock shim) can carry a
+single ``# det: allow-file`` comment instead of one pragma per line.
 
 Usage::
 
-    python tools/lint_determinism.py [path ...]   # default: src/repro
+    python tools/lint_determinism.py [--format json] [path ...]
 
-Exit status: 0 clean, 1 findings, 2 usage/parse errors.
+(default path: src/repro).  Exit status: 0 clean, 1 findings, 2
+usage/parse errors.
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
 PRAGMA = "det: allow"
+FILE_PRAGMA = "det: allow-file"
 
 #: time.<attr> calls that read the wall clock.
 TIME_BANNED = {
@@ -68,6 +73,13 @@ class Finding:
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": str(self.path),
+            "line": self.line,
+            "message": self.message,
+        }
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -204,9 +216,12 @@ def lint_file(path: Path) -> List[Finding]:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
         return [Finding(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    lines = source.splitlines()
+    if any(FILE_PRAGMA in text for text in lines):
+        return []
     allowed = {
         i
-        for i, text in enumerate(source.splitlines(), start=1)
+        for i, text in enumerate(lines, start=1)
         if PRAGMA in text
     }
     visitor = _Visitor(path, allowed)
@@ -237,6 +252,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=Path,
         help="files or directories to lint (default: src/repro)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json emits a machine-readable findings list)",
+    )
     args = parser.parse_args(argv)
     paths = args.paths or [Path(__file__).resolve().parent.parent / "src" / "repro"]
     for path in paths:
@@ -244,6 +265,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {path} does not exist", file=sys.stderr)
             return 2
     findings = lint_paths(paths)
+    if args.format == "json":
+        print(json.dumps({"findings": [f.to_dict() for f in findings]},
+                         indent=2, sort_keys=True))
+        return 1 if findings else 0
     for finding in findings:
         print(finding)
     if findings:

@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Stale-read-across-wait lint, runnable without installing the package.
+
+Thin CLI wrapper around :mod:`repro.analysis.staleread` (the same pass
+``python -m repro.sanitizer lint`` runs): flags a local variable that
+caches mutable shared state, survives a ``yield`` wait point, and is
+reused without a re-read.  See the module docstring for the three rule
+shapes and the ``# sanitizer: allow`` pragma.
+
+Usage::
+
+    python tools/lint_staleread.py [--format json] [path ...]
+
+Exit status: 0 clean, 1 findings, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sanitizer.__main__ import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["lint", *sys.argv[1:]]))
